@@ -1,0 +1,236 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark wraps the corresponding internal/experiments function
+// and prints the measured rows, so `go test -bench . -benchmem` reproduces
+// the whole evaluation; cmd/nsbench runs the same experiments with more
+// control. By default the multi-graph experiments use the four smaller
+// graphs; set NS_BENCH_FULL=1 to sweep all seven (substantially slower,
+// dominated by DepCache's redundant computation on wiki/twitter — which is
+// the paper's own Table 3 story).
+package neutronstar_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/experiments"
+	"neutronstar/internal/nn"
+)
+
+// benchScale is the default experiment scale for benchmarks.
+func benchScale() experiments.Scale {
+	sc := experiments.Scale{
+		Workers: 8,
+		Epochs:  2,
+		Graphs:  []string{"google", "pokec", "reddit", "livejournal"},
+	}
+	if os.Getenv("NS_BENCH_FULL") != "" {
+		sc = experiments.DefaultScale()
+	}
+	return sc
+}
+
+func printRows(label string, rows []experiments.Row) {
+	for _, r := range rows {
+		fmt.Printf("%s: %s\n", label, r.Format())
+	}
+}
+
+// BenchmarkTable2Datasets regenerates the dataset corpus (paper Table 2) and
+// reports generation throughput.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		edges := 0
+		for _, name := range append(dataset.BigGraphNames(), dataset.CitationNames()...) {
+			ds, err := dataset.LoadByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			edges += ds.NumEdges()
+		}
+		b.ReportMetric(float64(edges), "edges")
+	}
+	for _, line := range experiments.Table2() {
+		fmt.Println("table2: " + line)
+	}
+}
+
+// BenchmarkFig2aGraphInputs: DepCache vs DepComm across graph inputs.
+func BenchmarkFig2aGraphInputs(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		printRows("fig2a", experiments.Fig2a(sc))
+	}
+}
+
+// BenchmarkFig2bHiddenSize: DepCache vs DepComm across hidden sizes.
+func BenchmarkFig2bHiddenSize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		printRows("fig2b", experiments.Fig2b(sc))
+	}
+}
+
+// BenchmarkFig2cClusterEnv: DepCache vs DepComm across network profiles.
+func BenchmarkFig2cClusterEnv(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		printRows("fig2c", experiments.Fig2c(sc))
+	}
+}
+
+// BenchmarkFig9Ablation: raw engines plus the R/L/P optimisation stack.
+func BenchmarkFig9Ablation(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9(sc)
+		printRows("fig9", rows)
+		var sum float64
+		for _, r := range rows {
+			sum += r.Values["speedup_RLP"]
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean_speedup_vs_depcache")
+	}
+}
+
+// BenchmarkTable3CostBenefit: multi-epoch runtime plus the preprocessing
+// (Algorithm 4) overhead.
+func BenchmarkTable3CostBenefit(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(sc, 5)
+		printRows("table3", rows)
+		var worst float64
+		for _, r := range rows {
+			if p := r.Values["preprocess_pct"]; p > worst {
+				worst = p
+			}
+		}
+		b.ReportMetric(worst, "worst_preprocess_pct")
+	}
+}
+
+// BenchmarkFig10Overall: the five systems across three models.
+func BenchmarkFig10Overall(b *testing.B) {
+	sc := benchScale()
+	if os.Getenv("NS_BENCH_FULL") == "" {
+		sc.Graphs = []string{"google", "reddit"} // 3 models x 5 systems is the big axis
+	}
+	for i := 0; i < b.N; i++ {
+		printRows("fig10", experiments.Fig10(sc))
+	}
+}
+
+// BenchmarkFig11Ratio: forced cache/communicate ratio sweep.
+func BenchmarkFig11Ratio(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		printRows("fig11/gcn-reddit", experiments.Fig11(sc, nn.GCN, "reddit"))
+		if os.Getenv("NS_BENCH_FULL") != "" {
+			printRows("fig11/gat-orkut", experiments.Fig11(sc, nn.GAT, "orkut"))
+		}
+	}
+}
+
+// BenchmarkFig12Scaling: cluster sizes 1..16.
+func BenchmarkFig12Scaling(b *testing.B) {
+	sizes := []int{1, 2, 4, 8}
+	graphs := []string{"pokec", "reddit"}
+	if os.Getenv("NS_BENCH_FULL") != "" {
+		sizes = []int{1, 2, 4, 8, 16}
+		graphs = []string{"pokec", "reddit", "orkut", "wiki"}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			printRows("fig12", experiments.Fig12(g, sizes, 2))
+		}
+	}
+}
+
+// BenchmarkFig13Utilization: accelerator/host/network utilisation per system.
+func BenchmarkFig13Utilization(b *testing.B) {
+	sc := benchScale()
+	graph := "pokec"
+	if os.Getenv("NS_BENCH_FULL") != "" {
+		graph = "orkut" // the paper's Figure 13 workload
+	}
+	for i := 0; i < b.N; i++ {
+		for _, rep := range experiments.Fig13(sc, graph) {
+			fmt.Printf("fig13: %-12s accel_util=%.2f host_util=%.2f sample_util=%.2f net_peak=%.1fMB/s net_cv=%.2f recv=%.1fMB\n",
+				rep.System, rep.AcceleratorUtil, rep.HostUtil, rep.SampleUtil,
+				rep.NetPeakMBs, rep.NetSmoothnessCV, rep.TotalRecvMB)
+		}
+	}
+}
+
+// BenchmarkFig14Accuracy: time-to-accuracy for the four training strategies.
+func BenchmarkFig14Accuracy(b *testing.B) {
+	sc := benchScale()
+	maxEpochs, evalEvery := 25, 5
+	if os.Getenv("NS_BENCH_FULL") != "" {
+		maxEpochs, evalEvery = 45, 5
+	}
+	for i := 0; i < b.N; i++ {
+		for _, c := range experiments.Fig14(sc, maxEpochs, evalEvery, 0.95) {
+			fmt.Printf("fig14: %-18s best=%.4f time_to_95%%=%.1fs points=%d\n",
+				c.System, c.Best, c.TimeToTarget, len(c.Points))
+			for _, p := range c.Points {
+				fmt.Printf("fig14:     t=%6.1fs epoch=%3d acc=%.4f\n", p.Seconds, p.Epoch, p.Accuracy)
+			}
+		}
+	}
+}
+
+// BenchmarkFig15Partitioners: DepComm vs Hybrid under three partitioners.
+func BenchmarkFig15Partitioners(b *testing.B) {
+	sc := benchScale()
+	sc.Graphs = []string{"reddit", "livejournal"}
+	if os.Getenv("NS_BENCH_FULL") != "" {
+		sc.Graphs = []string{"reddit", "orkut", "wiki"} // the paper's set
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig15(sc)
+		printRows("fig15", rows)
+		var minSp float64 = 1e9
+		for _, r := range rows {
+			if s := r.Values["hybrid_speedup"]; s < minSp {
+				minSp = s
+			}
+		}
+		b.ReportMetric(minSp, "min_hybrid_speedup")
+	}
+}
+
+// BenchmarkTable4SharedMemory: shared-memory trainer vs distributed engines.
+func BenchmarkTable4SharedMemory(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		printRows("table4", experiments.Table4(sc))
+	}
+}
+
+// BenchmarkTable5SingleNode: single-worker engines on the small graphs.
+func BenchmarkTable5SingleNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printRows("table5", experiments.Table5(2))
+	}
+}
+
+// BenchmarkAblations toggles one engine mechanism at a time (complements
+// Fig 9's cumulative stack): ring scheduling, lock-free enqueue,
+// chunk-pipelined overlap, chunked vs broadcast transfer, all-reduce vs
+// parameter server.
+func BenchmarkAblations(b *testing.B) {
+	sc := benchScale()
+	graph := "reddit"
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablations(sc, graph)
+		printRows("ablations", rows)
+		for _, r := range rows {
+			if r.Label == "chunk-overlap" {
+				b.ReportMetric(r.Values["speedup"], "overlap_speedup")
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command nsbench regenerates the paper's tables and figures. Each -exp
+// value corresponds to one table/figure of the evaluation section; see
+// EXPERIMENTS.md for the mapping and the paper-reported numbers.
+//
+// Usage:
+//
+//	nsbench -exp fig2a
+//	nsbench -exp fig10 -workers 8 -graphs google,reddit
+//	nsbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neutronstar/internal/experiments"
+	"neutronstar/internal/nn"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment: table2 fig2a fig2b fig2c fig9 table3 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 ablations all")
+		workers = flag.Int("workers", 8, "simulated cluster size")
+		epochs  = flag.Int("epochs", 3, "measured epochs per configuration")
+		graphs  = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
+		quick   = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	}
+	if *epochs > 0 {
+		sc.Epochs = *epochs
+	}
+	if *graphs != "" {
+		sc.Graphs = strings.Split(*graphs, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2", "fig2a", "fig2b", "fig2c", "fig9", "table3",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table4", "table5",
+			"ablations"}
+	}
+	for _, name := range names {
+		runExperiment(name, sc, *quick)
+	}
+}
+
+func runExperiment(name string, sc experiments.Scale, quick bool) {
+	fmt.Printf("==== %s (workers=%d epochs=%d graphs=%v) ====\n", name, sc.Workers, sc.Epochs, sc.Graphs)
+	printRows := func(rows []experiments.Row) {
+		for _, r := range rows {
+			fmt.Println("  " + r.Format())
+		}
+	}
+	switch name {
+	case "table2":
+		for _, line := range experiments.Table2() {
+			fmt.Println("  " + line)
+		}
+	case "fig2a":
+		printRows(experiments.Fig2a(sc))
+	case "fig2b":
+		printRows(experiments.Fig2b(sc))
+	case "fig2c":
+		printRows(experiments.Fig2c(sc))
+	case "fig9":
+		printRows(experiments.Fig9(sc))
+	case "table3":
+		epochs := 10
+		if quick {
+			epochs = 2
+		}
+		fmt.Printf("  (runtime of %d epochs; the paper reports 100)\n", epochs)
+		printRows(experiments.Table3(sc, epochs))
+	case "fig10":
+		printRows(experiments.Fig10(sc))
+	case "fig11":
+		fmt.Println("  GCN on reddit:")
+		printRows(experiments.Fig11(sc, nn.GCN, "reddit"))
+		if !quick {
+			fmt.Println("  GAT on orkut:")
+			printRows(experiments.Fig11(sc, nn.GAT, "orkut"))
+		}
+	case "fig12":
+		sizes := []int{1, 2, 4, 8, 16}
+		if quick {
+			sizes = []int{1, 2, 4}
+		}
+		gs := sc.Graphs
+		if len(gs) > 4 {
+			gs = []string{"pokec", "reddit", "orkut", "wiki"}
+		}
+		for _, g := range gs {
+			printRows(experiments.Fig12(g, sizes, sc.Epochs))
+		}
+	case "fig13":
+		graph := "orkut"
+		if quick {
+			graph = "google"
+		}
+		for _, rep := range experiments.Fig13(sc, graph) {
+			fmt.Printf("  %-12s accel_util=%.2f host_util=%.2f sample_util=%.2f net_peak=%.1fMB/s net_cv=%.2f recv=%.1fMB\n",
+				rep.System, rep.AcceleratorUtil, rep.HostUtil, rep.SampleUtil,
+				rep.NetPeakMBs, rep.NetSmoothnessCV, rep.TotalRecvMB)
+		}
+	case "fig14":
+		maxEpochs, evalEvery := 45, 5
+		if quick {
+			maxEpochs, evalEvery = 6, 3
+		}
+		curves := experiments.Fig14(sc, maxEpochs, evalEvery, 0.95)
+		for _, c := range curves {
+			fmt.Printf("  %-18s best=%.4f time_to_95%%=%.1fs\n", c.System, c.Best, c.TimeToTarget)
+			for _, p := range c.Points {
+				fmt.Printf("      t=%6.1fs epoch=%3d acc=%.4f\n", p.Seconds, p.Epoch, p.Accuracy)
+			}
+		}
+	case "fig15":
+		gs := sc.Graphs
+		if len(gs) > 3 {
+			gs = []string{"reddit", "orkut", "wiki"}
+		}
+		sc2 := sc
+		sc2.Graphs = gs
+		printRows(experiments.Fig15(sc2))
+	case "table4":
+		gs := sc.Graphs
+		if len(gs) > 4 {
+			gs = []string{"google", "pokec", "livejournal", "reddit"}
+		}
+		sc2 := sc
+		sc2.Graphs = gs
+		printRows(experiments.Table4(sc2))
+	case "table5":
+		printRows(experiments.Table5(sc.Epochs))
+	case "ablations":
+		graph := "reddit"
+		if quick {
+			graph = "google"
+		}
+		printRows(experiments.Ablations(sc, graph))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+}

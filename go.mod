@@ -1,0 +1,3 @@
+module neutronstar
+
+go 1.22

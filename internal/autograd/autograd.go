@@ -1,0 +1,143 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over the tensor package. It is the counterpart of the
+// "flexible auto differentiation framework" of NeutronStar (§4.1): within a
+// worker, each GNN layer is expressed as a chain of differentiable operations
+// (NN ops and graph ops), and the backward pass is derived automatically by
+// replaying the tape in reverse. Cross-worker dependency management
+// (GetFromDepNbr / PostToDepNbr) lives above this package, in the engine:
+// the engine feeds remote representations in as leaf variables and reads
+// their accumulated gradients out after Backward, exactly mirroring the
+// paper's synchronize-compute / compute-synchronize split.
+package autograd
+
+import (
+	"fmt"
+
+	"neutronstar/internal/tensor"
+)
+
+// Variable is a node in the computation graph: a value plus an optional
+// gradient accumulator and the closure that propagates gradients to its
+// parents.
+type Variable struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor // lazily allocated; nil until first accumulation
+
+	tape         *Tape
+	requiresGrad bool
+	backward     func(grad *tensor.Tensor)
+	name         string
+}
+
+// RequiresGrad reports whether gradients flow into this variable.
+func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
+
+// Tape returns the tape the variable is recorded on.
+func (v *Variable) Tape() *Tape { return v.tape }
+
+// Name returns the debug name assigned at creation (may be empty).
+func (v *Variable) Name() string { return v.name }
+
+// accumulate adds g into v.Grad, allocating it on first use.
+func (v *Variable) accumulate(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Rows(), v.Value.Cols())
+	}
+	tensor.AddInto(v.Grad, v.Grad, g)
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Variable) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// Tape records operations in execution order so Backward can replay them in
+// reverse. A Tape is not safe for concurrent use; each worker builds its own.
+type Tape struct {
+	nodes []*Variable
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset drops all recorded operations, keeping the backing storage for reuse.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// NumNodes returns the number of variables recorded on the tape.
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+// Leaf registers value as a leaf variable. If requiresGrad is set, gradients
+// accumulate into it during Backward (used for parameters and for remote
+// dependency representations whose gradients must be posted back).
+func (t *Tape) Leaf(value *tensor.Tensor, requiresGrad bool, name string) *Variable {
+	v := &Variable{Value: value, tape: t, requiresGrad: requiresGrad, name: name}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Constant registers value as a non-differentiable leaf.
+func (t *Tape) Constant(value *tensor.Tensor, name string) *Variable {
+	return t.Leaf(value, false, name)
+}
+
+// record registers an op output whose parents are parents and whose gradient
+// rule is back. The output requires grad iff any parent does.
+func (t *Tape) record(value *tensor.Tensor, name string, back func(grad *tensor.Tensor), parents ...*Variable) *Variable {
+	req := false
+	for _, p := range parents {
+		if p != nil && p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	v := &Variable{Value: value, tape: t, requiresGrad: req, name: name}
+	if req {
+		v.backward = back
+	}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Backward runs reverse-mode differentiation from root. seed is the gradient
+// of the loss with respect to root; pass nil for a scalar root to seed with 1.
+// Leaves with requiresGrad accumulate into their Grad fields.
+//
+// Because ops always append their outputs after their inputs, the tape order
+// is already a topological order and reverse iteration is a valid schedule.
+func (t *Tape) Backward(root *Variable, seed *tensor.Tensor) {
+	if root.tape != t {
+		panic("autograd: Backward root from a different tape")
+	}
+	if seed == nil {
+		if root.Value.Len() != 1 {
+			panic(fmt.Sprintf("autograd: nil seed requires scalar root, got %dx%d",
+				root.Value.Rows(), root.Value.Cols()))
+		}
+		seed = tensor.New(1, 1)
+		seed.Set(0, 0, 1)
+	}
+	if !seed.SameShape(root.Value) {
+		panic("autograd: seed shape mismatch with root value")
+	}
+	root.accumulateForce(seed)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward(n.Grad)
+		}
+	}
+}
+
+// accumulateForce seeds a gradient even on a node that is itself a
+// non-requiresGrad leaf (harmless: its backward is nil).
+func (v *Variable) accumulateForce(g *tensor.Tensor) {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Rows(), v.Value.Cols())
+	}
+	tensor.AddInto(v.Grad, v.Grad, g)
+}

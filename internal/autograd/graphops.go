@@ -1,0 +1,208 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"neutronstar/internal/tensor"
+)
+
+// The operations in this file are the differentiable halves of NeutronStar's
+// decoupled graph operations (§4.1): ScatterToEdge is a Gather over source or
+// destination indices, GatherByDst is a ScatterAddRows keyed by destination,
+// and GAT's per-destination attention normalisation is SegmentSoftmax.
+// Their backward rules are the paper's ScatterBackToEdge / GatherBySrc duals.
+
+// Gather selects rows of x by idx: out[i] = x[idx[i]]. The same source row may
+// appear many times (a vertex feeds all its out-edges); the backward pass
+// scatter-adds edge gradients back to the vertex rows.
+func (t *Tape) Gather(x *Variable, idx []int32) *Variable {
+	cols := x.Value.Cols()
+	out := tensor.New(len(idx), cols)
+	for i, src := range idx {
+		copy(out.Row(i), x.Value.Row(int(src)))
+	}
+	return t.record(out, "gather", func(grad *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		g := tensor.New(x.Value.Rows(), x.Value.Cols())
+		for i, src := range idx {
+			dst := g.Row(int(src))
+			gr := grad.Row(i)
+			for j, v := range gr {
+				dst[j] += v
+			}
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// ScatterAddRows sums rows of edges into numRows output rows keyed by idx:
+// out[idx[e]] += edges[e]. This is GatherByDst with the sum aggregator.
+// The backward pass gathers: dEdges[e] = dOut[idx[e]].
+func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variable {
+	if len(idx) != edges.Value.Rows() {
+		panic(fmt.Sprintf("autograd: ScatterAddRows %d indices for %d edges", len(idx), edges.Value.Rows()))
+	}
+	cols := edges.Value.Cols()
+	out := tensor.New(numRows, cols)
+	for e, d := range idx {
+		dst := out.Row(int(d))
+		src := edges.Value.Row(e)
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	return t.record(out, "scatter_add", func(grad *tensor.Tensor) {
+		if !edges.requiresGrad {
+			return
+		}
+		g := tensor.New(len(idx), cols)
+		for e, d := range idx {
+			copy(g.Row(e), grad.Row(int(d)))
+		}
+		edges.accumulate(g)
+	}, edges)
+}
+
+// ScatterMaxRows takes an element-wise max of edge rows into numRows output
+// rows keyed by idx. Rows that receive no edge stay zero. The backward pass
+// routes each output element's gradient to the (first) edge that attained the
+// max, matching the subgradient convention of max-pooling aggregators.
+func (t *Tape) ScatterMaxRows(edges *Variable, idx []int32, numRows int) *Variable {
+	cols := edges.Value.Cols()
+	out := tensor.New(numRows, cols)
+	argmax := make([]int32, numRows*cols)
+	for i := range argmax {
+		argmax[i] = -1
+	}
+	neg := float32(math.Inf(-1))
+	seen := make([]bool, numRows)
+	for e, d := range idx {
+		row := out.Row(int(d))
+		if !seen[d] {
+			for j := range row {
+				row[j] = neg
+			}
+			seen[d] = true
+		}
+		src := edges.Value.Row(e)
+		base := int(d) * cols
+		for j, v := range src {
+			if v > row[j] {
+				row[j] = v
+				argmax[base+j] = int32(e)
+			}
+		}
+	}
+	// Rows never written stay zero: vertices with no in-edges aggregate to
+	// zero rather than -inf, because -inf is only seeded on first touch.
+	return t.record(out, "scatter_max", func(grad *tensor.Tensor) {
+		if !edges.requiresGrad {
+			return
+		}
+		g := tensor.New(edges.Value.Rows(), cols)
+		for i, e := range argmax {
+			if e >= 0 {
+				g.Data()[int(e)*cols+i%cols] += grad.Data()[i]
+			}
+		}
+		edges.accumulate(g)
+	}, edges)
+}
+
+// SegmentSoftmax normalises the Ex1 score column within contiguous segments.
+// offsets has numSegments+1 entries; segment s spans rows
+// [offsets[s], offsets[s+1]). Scores must therefore be ordered by segment
+// (for GAT: edges sorted by destination, i.e. CSC order).
+func (t *Tape) SegmentSoftmax(scores *Variable, offsets []int32) *Variable {
+	if scores.Value.Cols() != 1 {
+		panic("autograd: SegmentSoftmax wants an Ex1 score column")
+	}
+	e := scores.Value.Rows()
+	if int(offsets[len(offsets)-1]) != e {
+		panic(fmt.Sprintf("autograd: SegmentSoftmax offsets end %d != %d rows", offsets[len(offsets)-1], e))
+	}
+	out := tensor.New(e, 1)
+	src := scores.Value.Data()
+	dst := out.Data()
+	for s := 0; s+1 < len(offsets); s++ {
+		lo, hi := int(offsets[s]), int(offsets[s+1])
+		if lo == hi {
+			continue
+		}
+		maxV := float32(math.Inf(-1))
+		for i := lo; i < hi; i++ {
+			if src[i] > maxV {
+				maxV = src[i]
+			}
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			v := math.Exp(float64(src[i] - maxV))
+			dst[i] = float32(v)
+			sum += v
+		}
+		inv := float32(1 / sum)
+		for i := lo; i < hi; i++ {
+			dst[i] *= inv
+		}
+	}
+	return t.record(out, "segment_softmax", func(grad *tensor.Tensor) {
+		if !scores.requiresGrad {
+			return
+		}
+		g := tensor.New(e, 1)
+		gd, p := grad.Data(), out.Data()
+		for s := 0; s+1 < len(offsets); s++ {
+			lo, hi := int(offsets[s]), int(offsets[s+1])
+			var dot float64
+			for i := lo; i < hi; i++ {
+				dot += float64(p[i]) * float64(gd[i])
+			}
+			for i := lo; i < hi; i++ {
+				g.Data()[i] = p[i] * (gd[i] - float32(dot))
+			}
+		}
+		scores.accumulate(g)
+	}, scores)
+}
+
+// BroadcastColMul multiplies each row i of x by the scalar in column vector
+// c (Ex1), differentiably in both arguments. Used to weight edge messages by
+// attention coefficients.
+func (t *Tape) BroadcastColMul(x, c *Variable) *Variable {
+	if c.Value.Cols() != 1 || c.Value.Rows() != x.Value.Rows() {
+		panic("autograd: BroadcastColMul wants c of shape Rx1 matching x rows")
+	}
+	r, cols := x.Value.Rows(), x.Value.Cols()
+	out := tensor.New(r, cols)
+	for i := 0; i < r; i++ {
+		ci := c.Value.At(i, 0)
+		src, dst := x.Value.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = v * ci
+		}
+	}
+	return t.record(out, "broadcast_col_mul", func(grad *tensor.Tensor) {
+		if x.requiresGrad {
+			gx := tensor.New(r, cols)
+			for i := 0; i < r; i++ {
+				ci := c.Value.At(i, 0)
+				src, dst := grad.Row(i), gx.Row(i)
+				for j, v := range src {
+					dst[j] = v * ci
+				}
+			}
+			x.accumulate(gx)
+		}
+		if c.requiresGrad {
+			gc := tensor.New(r, 1)
+			for i := 0; i < r; i++ {
+				gc.Set(i, 0, tensor.Dot(grad.Row(i), x.Value.Row(i)))
+			}
+			c.accumulate(gc)
+		}
+	}, x, c)
+}

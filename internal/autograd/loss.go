@@ -1,0 +1,175 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"neutronstar/internal/tensor"
+)
+
+// LogSoftmax applies a row-wise log-softmax.
+func (t *Tape) LogSoftmax(x *Variable) *Variable {
+	out := tensor.LogSoftmaxRows(x.Value)
+	return t.record(out, "log_softmax", func(grad *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		// d/dx_j = g_j - softmax(x)_j * sum_k g_k, per row.
+		g := tensor.New(grad.Rows(), grad.Cols())
+		for i := 0; i < grad.Rows(); i++ {
+			gr := grad.Row(i)
+			or := out.Row(i)
+			var sum float64
+			for _, v := range gr {
+				sum += float64(v)
+			}
+			dst := g.Row(i)
+			for j, v := range gr {
+				dst[j] = v - float32(math.Exp(float64(or[j])))*float32(sum)
+			}
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// NLLLossMasked computes the mean negative log-likelihood of log-probability
+// rows logp over the rows selected by mask (labels[i] is ignored where
+// mask[i] is false). It returns a 1x1 loss variable and the number of rows
+// that contributed. Rows with mask false receive zero gradient, which is how
+// the engines restrict the loss to the labeled vertex set V_L.
+func (t *Tape) NLLLossMasked(logp *Variable, labels []int32, mask []bool) (*Variable, int) {
+	r := logp.Value.Rows()
+	if len(labels) != r || len(mask) != r {
+		panic(fmt.Sprintf("autograd: NLLLoss %d rows, %d labels, %d mask", r, len(labels), len(mask)))
+	}
+	n := 0
+	var loss float64
+	for i := 0; i < r; i++ {
+		if !mask[i] {
+			continue
+		}
+		n++
+		loss -= float64(logp.Value.At(i, int(labels[i])))
+	}
+	out := tensor.New(1, 1)
+	if n > 0 {
+		out.Set(0, 0, float32(loss/float64(n)))
+	}
+	count := n
+	v := t.record(out, "nll_loss", func(grad *tensor.Tensor) {
+		if !logp.requiresGrad || count == 0 {
+			return
+		}
+		scale := grad.At(0, 0) / float32(count)
+		g := tensor.New(r, logp.Value.Cols())
+		for i := 0; i < r; i++ {
+			if mask[i] {
+				g.Set(i, int(labels[i]), -scale)
+			}
+		}
+		logp.accumulate(g)
+	}, logp)
+	return v, n
+}
+
+// MSELoss computes the mean squared error between pred and target
+// (a constant), returning a 1x1 loss variable.
+func (t *Tape) MSELoss(pred *Variable, target *tensor.Tensor) *Variable {
+	pred.Value.SameShape(target)
+	n := float64(pred.Value.Len())
+	var loss float64
+	for i, v := range pred.Value.Data() {
+		d := float64(v - target.Data()[i])
+		loss += d * d
+	}
+	out := tensor.New(1, 1)
+	out.Set(0, 0, float32(loss/n))
+	return t.record(out, "mse_loss", func(grad *tensor.Tensor) {
+		if !pred.requiresGrad {
+			return
+		}
+		scale := grad.At(0, 0) * float32(2/n)
+		g := tensor.New(pred.Value.Rows(), pred.Value.Cols())
+		for i, v := range pred.Value.Data() {
+			g.Data()[i] = scale * (v - target.Data()[i])
+		}
+		pred.accumulate(g)
+	}, pred)
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(x *Variable) *Variable {
+	out := tensor.New(x.Value.Rows(), x.Value.Cols())
+	for i, v := range x.Value.Data() {
+		out.Data()[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return t.record(out, "sigmoid", func(grad *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		g := tensor.New(grad.Rows(), grad.Cols())
+		for i, s := range out.Data() {
+			g.Data()[i] = grad.Data()[i] * s * (1 - s)
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// BCEWithLogitsLoss computes the mean binary cross-entropy between logits
+// and targets (0/1 values, captured by reference as constants), using the
+// numerically stable formulation. It returns a 1x1 loss variable.
+func (t *Tape) BCEWithLogitsLoss(logits *Variable, targets []float32) *Variable {
+	n := logits.Value.Len()
+	if len(targets) != n {
+		panic(fmt.Sprintf("autograd: BCE %d logits, %d targets", n, len(targets)))
+	}
+	var loss float64
+	for i, x := range logits.Value.Data() {
+		xf := float64(x)
+		tf := float64(targets[i])
+		// max(x,0) - x*t + log(1+exp(-|x|))
+		loss += math.Max(xf, 0) - xf*tf + math.Log1p(math.Exp(-math.Abs(xf)))
+	}
+	out := tensor.New(1, 1)
+	out.Set(0, 0, float32(loss/float64(n)))
+	return t.record(out, "bce_logits", func(grad *tensor.Tensor) {
+		if !logits.requiresGrad {
+			return
+		}
+		scale := grad.At(0, 0) / float32(n)
+		g := tensor.New(logits.Value.Rows(), logits.Value.Cols())
+		for i, x := range logits.Value.Data() {
+			s := float32(1 / (1 + math.Exp(-float64(x))))
+			g.Data()[i] = scale * (s - targets[i])
+		}
+		logits.accumulate(g)
+	}, logits)
+}
+
+// RowSum reduces each row of x to its scalar sum, producing an Rx1 column —
+// the pairing reduction used by dot-product edge decoders.
+func (t *Tape) RowSum(x *Variable) *Variable {
+	r := x.Value.Rows()
+	out := tensor.New(r, 1)
+	for i := 0; i < r; i++ {
+		var s float32
+		for _, v := range x.Value.Row(i) {
+			s += v
+		}
+		out.Set(i, 0, s)
+	}
+	return t.record(out, "row_sum", func(grad *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		g := tensor.New(r, x.Value.Cols())
+		for i := 0; i < r; i++ {
+			gi := grad.At(i, 0)
+			row := g.Row(i)
+			for j := range row {
+				row[j] = gi
+			}
+		}
+		x.accumulate(g)
+	}, x)
+}

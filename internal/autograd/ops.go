@@ -1,0 +1,231 @@
+package autograd
+
+import (
+	"fmt"
+
+	"neutronstar/internal/tensor"
+)
+
+// MatMul returns a @ b on the tape.
+func (t *Tape) MatMul(a, b *Variable) *Variable {
+	out := tensor.MatMul(a.Value, b.Value)
+	return t.record(out, "matmul", func(grad *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(tensor.MatMulTB(grad, b.Value)) // dA = dOut @ Bᵀ
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.MatMulTA(a.Value, grad)) // dB = Aᵀ @ dOut
+		}
+	}, a, b)
+}
+
+// Add returns a + b element-wise.
+func (t *Tape) Add(a, b *Variable) *Variable {
+	out := tensor.Add(a.Value, b.Value)
+	return t.record(out, "add", func(grad *tensor.Tensor) {
+		a.accumulate(grad)
+		b.accumulate(grad)
+	}, a, b)
+}
+
+// AddBias adds the 1xC row vector bias to every row of x.
+func (t *Tape) AddBias(x, bias *Variable) *Variable {
+	out := x.Value.Clone()
+	tensor.AddRowVector(out, bias.Value)
+	return t.record(out, "add_bias", func(grad *tensor.Tensor) {
+		x.accumulate(grad)
+		if bias.requiresGrad {
+			bias.accumulate(tensor.SumRows(grad))
+		}
+	}, x, bias)
+}
+
+// Scale returns x * s.
+func (t *Tape) Scale(x *Variable, s float32) *Variable {
+	out := tensor.Scale(x.Value, s)
+	return t.record(out, "scale", func(grad *tensor.Tensor) {
+		x.accumulate(tensor.Scale(grad, s))
+	}, x)
+}
+
+// Mul returns the element-wise product a*b.
+func (t *Tape) Mul(a, b *Variable) *Variable {
+	out := tensor.Mul(a.Value, b.Value)
+	return t.record(out, "mul", func(grad *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(tensor.Mul(grad, b.Value))
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Mul(grad, a.Value))
+		}
+	}, a, b)
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(x *Variable) *Variable {
+	out := tensor.ReLU(x.Value)
+	return t.record(out, "relu", func(grad *tensor.Tensor) {
+		x.accumulate(tensor.ReLUBackward(grad, x.Value))
+	}, x)
+}
+
+// LeakyReLU applies x>0 ? x : slope*x element-wise.
+func (t *Tape) LeakyReLU(x *Variable, slope float32) *Variable {
+	out := tensor.LeakyReLU(x.Value, slope)
+	return t.record(out, "leaky_relu", func(grad *tensor.Tensor) {
+		x.accumulate(tensor.LeakyReLUBackward(grad, x.Value, slope))
+	}, x)
+}
+
+// Dropout applies inverted dropout with probability p when training is true;
+// otherwise it is the identity.
+func (t *Tape) Dropout(x *Variable, p float32, rng *tensor.RNG, training bool) *Variable {
+	if !training || p <= 0 {
+		return x
+	}
+	out, mask := tensor.Dropout(x.Value, p, rng)
+	return t.record(out, "dropout", func(grad *tensor.Tensor) {
+		x.accumulate(tensor.Mul(grad, mask))
+	}, x)
+}
+
+// ConcatCols concatenates a and b along columns: result is R x (Ca+Cb).
+func (t *Tape) ConcatCols(a, b *Variable) *Variable {
+	if a.Value.Rows() != b.Value.Rows() {
+		panic(fmt.Sprintf("autograd: ConcatCols rows %d vs %d", a.Value.Rows(), b.Value.Rows()))
+	}
+	r, ca, cb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
+	out := tensor.New(r, ca+cb)
+	for i := 0; i < r; i++ {
+		row := out.Row(i)
+		copy(row[:ca], a.Value.Row(i))
+		copy(row[ca:], b.Value.Row(i))
+	}
+	return t.record(out, "concat_cols", func(grad *tensor.Tensor) {
+		if a.requiresGrad {
+			ga := tensor.New(r, ca)
+			for i := 0; i < r; i++ {
+				copy(ga.Row(i), grad.Row(i)[:ca])
+			}
+			a.accumulate(ga)
+		}
+		if b.requiresGrad {
+			gb := tensor.New(r, cb)
+			for i := 0; i < r; i++ {
+				copy(gb.Row(i), grad.Row(i)[ca:])
+			}
+			b.accumulate(gb)
+		}
+	}, a, b)
+}
+
+// ConcatRows stacks variables vertically. All must share the column count.
+func (t *Tape) ConcatRows(parts ...*Variable) *Variable {
+	if len(parts) == 0 {
+		panic("autograd: ConcatRows with no parts")
+	}
+	cols := parts[0].Value.Cols()
+	total := 0
+	for _, p := range parts {
+		if p.Value.Cols() != cols {
+			panic("autograd: ConcatRows column mismatch")
+		}
+		total += p.Value.Rows()
+	}
+	out := tensor.New(total, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data()[off*cols:], p.Value.Data())
+		off += p.Value.Rows()
+	}
+	ps := parts
+	return t.record(out, "concat_rows", func(grad *tensor.Tensor) {
+		off := 0
+		for _, p := range ps {
+			n := p.Value.Rows()
+			if p.requiresGrad {
+				p.accumulate(grad.RowSlice(off, off+n).Clone())
+			}
+			off += n
+		}
+	}, parts...)
+}
+
+// SliceRows takes rows [lo, hi) of x as a new variable.
+func (t *Tape) SliceRows(x *Variable, lo, hi int) *Variable {
+	out := x.Value.RowSlice(lo, hi).Clone()
+	return t.record(out, "slice_rows", func(grad *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		g := tensor.New(x.Value.Rows(), x.Value.Cols())
+		copy(g.Data()[lo*g.Cols():hi*g.Cols()], grad.Data())
+		x.accumulate(g)
+	}, x)
+}
+
+// MulColVec multiplies each row i of x by coeff[i] (a per-row scalar).
+// coeff is captured by reference and treated as a constant.
+func (t *Tape) MulColVec(x *Variable, coeff []float32) *Variable {
+	if len(coeff) != x.Value.Rows() {
+		panic(fmt.Sprintf("autograd: MulColVec %d coeffs for %d rows", len(coeff), x.Value.Rows()))
+	}
+	out := tensor.New(x.Value.Rows(), x.Value.Cols())
+	for i := 0; i < x.Value.Rows(); i++ {
+		c := coeff[i]
+		src, dst := x.Value.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = v * c
+		}
+	}
+	return t.record(out, "mul_colvec", func(grad *tensor.Tensor) {
+		g := tensor.New(grad.Rows(), grad.Cols())
+		for i := 0; i < grad.Rows(); i++ {
+			c := coeff[i]
+			src, dst := grad.Row(i), g.Row(i)
+			for j, v := range src {
+				dst[j] = v * c
+			}
+		}
+		x.accumulate(g)
+	}, x)
+}
+
+// RowDot computes, for each row i, the dot product of x's row i with the 1xC
+// vector w, yielding an Rx1 column. Used for attention score computation.
+func (t *Tape) RowDot(x, w *Variable) *Variable {
+	if w.Value.Rows() != 1 || w.Value.Cols() != x.Value.Cols() {
+		panic("autograd: RowDot wants 1xC weight matching x columns")
+	}
+	r := x.Value.Rows()
+	out := tensor.New(r, 1)
+	for i := 0; i < r; i++ {
+		out.Set(i, 0, tensor.Dot(x.Value.Row(i), w.Value.Row(0)))
+	}
+	return t.record(out, "row_dot", func(grad *tensor.Tensor) {
+		if x.requiresGrad {
+			gx := tensor.New(r, x.Value.Cols())
+			for i := 0; i < r; i++ {
+				gi := grad.At(i, 0)
+				wr := w.Value.Row(0)
+				dst := gx.Row(i)
+				for j, wv := range wr {
+					dst[j] = gi * wv
+				}
+			}
+			x.accumulate(gx)
+		}
+		if w.requiresGrad {
+			gw := tensor.New(1, w.Value.Cols())
+			for i := 0; i < r; i++ {
+				gi := grad.At(i, 0)
+				xr := x.Value.Row(i)
+				dst := gw.Row(0)
+				for j, xv := range xr {
+					dst[j] += gi * xv
+				}
+			}
+			w.accumulate(gw)
+		}
+	}, x, w)
+}

@@ -1,0 +1,37 @@
+package roc
+
+import (
+	"testing"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/nn"
+)
+
+func TestRejectsGAT(t *testing.T) {
+	ds := dataset.Load(dataset.Spec{
+		Name: "r", Vertices: 100, AvgDegree: 4, FeatureDim: 8,
+		NumClasses: 3, HiddenDim: 4, Gen: dataset.GenRMAT, Seed: 1,
+	})
+	if _, err := New(ds, Options{Workers: 2, Model: nn.GAT}); err == nil {
+		t.Fatal("expected GAT rejection")
+	}
+}
+
+func TestRocTrains(t *testing.T) {
+	ds := dataset.Load(dataset.Spec{
+		Name: "r", Vertices: 300, AvgDegree: 6, FeatureDim: 12,
+		NumClasses: 4, HiddenDim: 8, Gen: dataset.GenSBM, Homophily: 0.85, Seed: 2,
+	})
+	e, err := New(ds, Options{Workers: 3, Model: nn.GCN, Seed: 3, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stats := e.Train(10)
+	if stats[9].Loss >= stats[0].Loss {
+		t.Fatalf("ROC baseline did not learn: %v -> %v", stats[0].Loss, stats[9].Loss)
+	}
+	if e.Mode() != "depcomm" {
+		t.Fatalf("mode = %s", e.Mode())
+	}
+}

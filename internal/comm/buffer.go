@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"neutronstar/internal/tensor"
+)
+
+// Enqueuer assembles the rows a worker is about to send to one peer.
+// Multiple compute threads call WriteRow concurrently; Finish returns the
+// packed tensor and the vertex order it was packed in.
+//
+// Two implementations exist, matching the paper's §4.3 ablation:
+// LockFreeBuffer (the "L" optimisation — pre-indexed positions, no locks)
+// and LockedBuffer (the mutex-guarded baseline).
+type Enqueuer interface {
+	// WriteRow stores the row for the given global vertex id.
+	WriteRow(vertex int32, row []float32)
+	// Finish returns the packed rows and their vertex ids. The returned
+	// tensor row i corresponds to vertex ids[i]. Finish must be called
+	// exactly once, after all WriteRow calls completed.
+	Finish() (*tensor.Tensor, []int32)
+}
+
+// LockFreeBuffer is the lock-free parallel enqueue of §4.3: the destination
+// vertex set is known before the layer executes, so every vertex's row
+// position is precomputed; concurrent writers touch disjoint rows and no
+// synchronisation is needed.
+type LockFreeBuffer struct {
+	rows     *tensor.Tensor
+	vertices []int32
+	pos      map[int32]int32
+}
+
+// NewLockFreeBuffer builds a buffer for the given destination vertex set
+// (ascending or not; order is preserved) and row width dim.
+func NewLockFreeBuffer(vertices []int32, dim int) *LockFreeBuffer {
+	b := &LockFreeBuffer{
+		rows:     tensor.New(len(vertices), dim),
+		vertices: vertices,
+		pos:      make(map[int32]int32, len(vertices)),
+	}
+	for i, v := range vertices {
+		b.pos[v] = int32(i)
+	}
+	return b
+}
+
+// WriteRow copies row into the slot precomputed for vertex. It is safe for
+// concurrent use by multiple goroutines writing distinct vertices.
+func (b *LockFreeBuffer) WriteRow(vertex int32, row []float32) {
+	p, ok := b.pos[vertex]
+	if !ok {
+		panic(fmt.Sprintf("comm: vertex %d not in send buffer", vertex))
+	}
+	copy(b.rows.Row(int(p)), row)
+}
+
+// Finish returns the packed tensor and vertex ids.
+func (b *LockFreeBuffer) Finish() (*tensor.Tensor, []int32) {
+	return b.rows, b.vertices
+}
+
+// LockedBuffer is the baseline enqueue: a mutex-guarded append queue that is
+// sorted and compacted at Finish, modeling the lock-contended message queues
+// of prior graph systems the paper contrasts against.
+type LockedBuffer struct {
+	mu       sync.Mutex
+	dim      int
+	vertices []int32
+	rows     [][]float32
+}
+
+// NewLockedBuffer builds an empty locked buffer for rows of width dim.
+// capacity hints the expected number of rows.
+func NewLockedBuffer(capacity, dim int) *LockedBuffer {
+	return &LockedBuffer{
+		dim:      dim,
+		vertices: make([]int32, 0, capacity),
+		rows:     make([][]float32, 0, capacity),
+	}
+}
+
+// WriteRow appends the row under the mutex, copying it (the caller may reuse
+// the slice).
+func (b *LockedBuffer) WriteRow(vertex int32, row []float32) {
+	cp := make([]float32, len(row))
+	copy(cp, row)
+	b.mu.Lock()
+	b.vertices = append(b.vertices, vertex)
+	b.rows = append(b.rows, cp)
+	b.mu.Unlock()
+}
+
+// Finish sorts the accumulated rows by vertex id and packs them.
+func (b *LockedBuffer) Finish() (*tensor.Tensor, []int32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := make([]int, len(b.vertices))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return b.vertices[idx[i]] < b.vertices[idx[j]] })
+	out := tensor.New(len(idx), b.dim)
+	verts := make([]int32, len(idx))
+	for i, j := range idx {
+		copy(out.Row(i), b.rows[j])
+		verts[i] = b.vertices[j]
+	}
+	return out, verts
+}
+
+// NewEnqueuer returns the lock-free buffer when lockFree is set, otherwise
+// the locked baseline. vertices is the exact destination set.
+func NewEnqueuer(lockFree bool, vertices []int32, dim int) Enqueuer {
+	if lockFree {
+		return NewLockFreeBuffer(vertices, dim)
+	}
+	return NewLockedBuffer(len(vertices), dim)
+}

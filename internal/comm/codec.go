@@ -1,0 +1,121 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"neutronstar/internal/tensor"
+)
+
+// Wire format for TCP transport, little-endian throughout:
+//
+//	magic     u32  (0x4E545301, "NTS\x01")
+//	kind      u8
+//	from, to  u32
+//	epoch     i64
+//	layer     i32
+//	seq       i32
+//	numVerts  u32
+//	rows,cols u32, u32
+//	verts     numVerts × i32
+//	data      rows*cols × f32
+//
+// The format is self-delimiting (lengths precede payloads), so a stream of
+// messages needs no extra framing.
+
+const wireMagic = 0x4E545301
+
+// maxWireDim bounds decoded allocation sizes against corrupt or hostile
+// streams: no legitimate message in this system approaches it.
+const maxWireDim = 1 << 28
+
+// encodeMessage writes msg in the wire format.
+func encodeMessage(w *bufio.Writer, msg *Message) error {
+	var hdr [41]byte
+	binary.LittleEndian.PutUint32(hdr[0:], wireMagic)
+	hdr[4] = byte(msg.Kind)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(msg.From))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(msg.To))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(int64(msg.Epoch)))
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(int32(msg.Layer)))
+	binary.LittleEndian.PutUint32(hdr[25:], uint32(int32(msg.Seq)))
+	binary.LittleEndian.PutUint32(hdr[29:], uint32(len(msg.Vertices)))
+	rows, cols := 0, 0
+	if msg.Rows != nil {
+		rows, cols = msg.Rows.Rows(), msg.Rows.Cols()
+	}
+	binary.LittleEndian.PutUint32(hdr[33:], uint32(rows))
+	binary.LittleEndian.PutUint32(hdr[37:], uint32(cols))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	for _, v := range msg.Vertices {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(v))
+		if _, err := w.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	if msg.Rows != nil {
+		for _, f := range msg.Rows.Data() {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(f))
+			if _, err := w.Write(scratch[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// decodeMessage reads one message in the wire format.
+func decodeMessage(r *bufio.Reader) (*Message, error) {
+	var hdr [41]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != wireMagic {
+		return nil, fmt.Errorf("comm: bad wire magic %#x", magic)
+	}
+	msg := &Message{
+		Kind:  MsgKind(hdr[4]),
+		From:  int(binary.LittleEndian.Uint32(hdr[5:])),
+		To:    int(binary.LittleEndian.Uint32(hdr[9:])),
+		Epoch: int(int64(binary.LittleEndian.Uint64(hdr[13:]))),
+		Layer: int(int32(binary.LittleEndian.Uint32(hdr[21:]))),
+		Seq:   int(int32(binary.LittleEndian.Uint32(hdr[25:]))),
+	}
+	nv := binary.LittleEndian.Uint32(hdr[29:])
+	rows := binary.LittleEndian.Uint32(hdr[33:])
+	cols := binary.LittleEndian.Uint32(hdr[37:])
+	if nv > maxWireDim || rows > maxWireDim || cols > maxWireDim ||
+		(rows > 0 && cols > maxWireDim/rows) {
+		return nil, fmt.Errorf("comm: wire dimensions out of range (%d verts, %dx%d)", nv, rows, cols)
+	}
+	if nv > 0 {
+		msg.Vertices = make([]int32, nv)
+		buf := make([]byte, 4*nv)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range msg.Vertices {
+			msg.Vertices[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	if rows*cols > 0 {
+		data := make([]float32, rows*cols)
+		buf := make([]byte, 4*len(data))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		msg.Rows = tensor.FromSlice(int(rows), int(cols), data)
+	} else if rows > 0 || cols > 0 {
+		msg.Rows = tensor.New(int(rows), int(cols))
+	}
+	return msg, nil
+}

@@ -1,0 +1,323 @@
+// Package comm is NeutronStar-Go's message fabric: typed tensor-chunk
+// messages between workers, a simulated network with per-node egress and
+// ingress capacity (so ring scheduling and overlap have something real to
+// optimise against), the ring-based chunk schedule of §4.3, and the
+// lock-free parallel message enqueue buffer of §4.3.
+//
+// Workers live in one process, so "communication" is the movement of a
+// message through the sender's egress pacer, the wire latency, and the
+// receiver's ingress pacer — each modeled as serialised delays derived from
+// a NetworkProfile. With an unthrottled profile the fabric degenerates to
+// plain channel passing.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neutronstar/internal/metrics"
+	"neutronstar/internal/tensor"
+)
+
+// MsgKind tags the role of a message in the training protocol.
+type MsgKind uint8
+
+const (
+	// KindRep carries forward representations (GetFromDepNbr traffic).
+	KindRep MsgKind = iota
+	// KindGrad carries backward gradients (PostToDepNbr traffic).
+	KindGrad
+	// KindAllReduce carries parameter gradient blocks.
+	KindAllReduce
+	// KindSample carries sampled sub-structures (DistDGL baseline).
+	KindSample
+	// KindBlock carries a whole-partition block (ROC baseline).
+	KindBlock
+)
+
+// Message is one fabric transfer. Vertices names the global vertex ids the
+// tensor rows correspond to (may be nil when both sides share the layout).
+type Message struct {
+	From, To int
+	Kind     MsgKind
+	Epoch    int
+	Layer    int
+	// Seq disambiguates multiple messages with identical routing tags
+	// (e.g. all-reduce ring steps).
+	Seq      int
+	Vertices []int32
+	Rows     *tensor.Tensor
+}
+
+// WireBytes returns the simulated on-wire size of the message.
+func (m *Message) WireBytes() int {
+	b := 64 // header
+	b += 4 * len(m.Vertices)
+	if m.Rows != nil {
+		b += m.Rows.Bytes()
+	}
+	return b
+}
+
+// NetworkProfile models a cluster fabric. BytesPerSec bounds each node's
+// egress and ingress independently (a full-duplex NIC); Latency is added per
+// message. A zero BytesPerSec disables throttling.
+type NetworkProfile struct {
+	Name        string
+	BytesPerSec float64
+	Latency     time.Duration
+}
+
+// The two cluster presets of the paper's §2.3 comparison, calibrated so the
+// compute:communication ratio at this reproduction's reduced scale matches
+// the original clusters' regimes: ECS is the 6 Gb/s Aliyun Ethernet cluster
+// (communication-bound), IBV the 100 Gb/s InfiniBand cluster
+// (computation-bound).
+var (
+	ProfileECS = NetworkProfile{Name: "ecs", BytesPerSec: 48e6, Latency: 150 * time.Microsecond}
+	ProfileIBV = NetworkProfile{Name: "ibv", BytesPerSec: 1.6e9, Latency: 10 * time.Microsecond}
+	// ProfileLocal disables throttling entirely.
+	ProfileLocal = NetworkProfile{Name: "local"}
+)
+
+// Network is the transport surface engines depend on: tagged message send,
+// per-worker mailboxes, teardown. Two implementations exist: the in-process
+// channel Fabric (with simulated pacing) and the TCPFabric, which moves the
+// same messages over real loopback TCP connections.
+type Network interface {
+	Send(msg *Message)
+	Mailbox(i int) *Mailbox
+	NumWorkers() int
+	Close()
+}
+
+// Fabric connects m workers. Create with NewFabric, stop with Close.
+type Fabric struct {
+	m       int
+	profile NetworkProfile
+	coll    *metrics.Collector
+
+	egress  []chan *Message // per-sender serialised queue
+	ingress []chan *Message // per-receiver serialised queue
+	inbox   []*Mailbox
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// queueDepth bounds in-flight messages per pacer; deep enough that senders
+// rarely block on the queue itself, so the pacing delay dominates.
+const queueDepth = 4096
+
+// NewFabric builds a fabric for m workers with the given network profile.
+// coll may be nil.
+func NewFabric(m int, profile NetworkProfile, coll *metrics.Collector) *Fabric {
+	f := &Fabric{
+		m:       m,
+		profile: profile,
+		coll:    coll,
+		egress:  make([]chan *Message, m),
+		ingress: make([]chan *Message, m),
+		inbox:   make([]*Mailbox, m),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < m; i++ {
+		f.egress[i] = make(chan *Message, queueDepth)
+		f.ingress[i] = make(chan *Message, queueDepth)
+		f.inbox[i] = newMailbox()
+	}
+	for i := 0; i < m; i++ {
+		f.wg.Add(2)
+		go f.egressLoop(i)
+		go f.ingressLoop(i)
+	}
+	return f
+}
+
+// NumWorkers returns the number of workers the fabric connects.
+func (f *Fabric) NumWorkers() int { return f.m }
+
+// Profile returns the fabric's network profile.
+func (f *Fabric) Profile() NetworkProfile { return f.profile }
+
+// Send enqueues msg for delivery. Self-sends bypass the network entirely
+// (local dependency handling is free, as in the real system's shared memory).
+// Send never blocks longer than pacing requires; it panics on a closed
+// fabric, which would indicate an engine lifecycle bug.
+func (f *Fabric) Send(msg *Message) {
+	if msg.To < 0 || msg.To >= f.m || msg.From < 0 || msg.From >= f.m {
+		panic(fmt.Sprintf("comm: route %d->%d outside [0,%d)", msg.From, msg.To, f.m))
+	}
+	if msg.From == msg.To {
+		f.inbox[msg.To].deliver(msg)
+		return
+	}
+	select {
+	case <-f.closed:
+		panic("comm: Send on closed fabric")
+	default:
+	}
+	f.coll.AddSent(int64(msg.WireBytes()))
+	select {
+	case f.egress[msg.From] <- msg:
+	case <-f.closed:
+		panic("comm: Send on closed fabric")
+	}
+}
+
+// egressLoop serialises a sender's outgoing traffic at the profile rate.
+func (f *Fabric) egressLoop(i int) {
+	defer f.wg.Done()
+	for {
+		select {
+		case msg := <-f.egress[i]:
+			f.pace(msg.WireBytes())
+			select {
+			case f.ingress[msg.To] <- msg:
+			case <-f.closed:
+				return
+			}
+		case <-f.closed:
+			return
+		}
+	}
+}
+
+// ingressLoop serialises a receiver's incoming traffic at the profile rate
+// and applies wire latency, then delivers to the mailbox.
+func (f *Fabric) ingressLoop(i int) {
+	defer f.wg.Done()
+	for {
+		select {
+		case msg := <-f.ingress[i]:
+			if f.profile.Latency > 0 {
+				time.Sleep(f.profile.Latency)
+			}
+			f.pace(msg.WireBytes())
+			f.coll.AddReceived(int64(msg.WireBytes()))
+			f.inbox[i].deliver(msg)
+		case <-f.closed:
+			return
+		}
+	}
+}
+
+// pace sleeps for the transmission time of n bytes at the profile rate.
+func (f *Fabric) pace(n int) {
+	if f.profile.BytesPerSec <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / f.profile.BytesPerSec * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Mailbox returns worker i's mailbox.
+func (f *Fabric) Mailbox(i int) *Mailbox { return f.inbox[i] }
+
+// Close shuts the fabric down. Messages still in pacers are dropped.
+func (f *Fabric) Close() {
+	close(f.closed)
+	f.wg.Wait()
+	for _, mb := range f.inbox {
+		mb.close()
+	}
+}
+
+// routeKey identifies a logical message slot for matching.
+type routeKey struct {
+	kind  MsgKind
+	epoch int
+	layer int
+	seq   int
+	from  int
+}
+
+// Mailbox matches arriving messages to waiting receivers by
+// (kind, epoch, layer, seq, from). The training protocol guarantees at most
+// one message per key, so each key is a single-assignment cell.
+type Mailbox struct {
+	mu      sync.Mutex
+	pending map[routeKey]*Message
+	waiting map[routeKey]chan *Message
+	closed  bool
+}
+
+func newMailbox() *Mailbox {
+	return &Mailbox{
+		pending: make(map[routeKey]*Message),
+		waiting: make(map[routeKey]chan *Message),
+	}
+}
+
+func (mb *Mailbox) deliver(msg *Message) {
+	key := routeKey{kind: msg.Kind, epoch: msg.Epoch, layer: msg.Layer, seq: msg.Seq, from: msg.From}
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	if ch, ok := mb.waiting[key]; ok {
+		delete(mb.waiting, key)
+		mb.mu.Unlock()
+		ch <- msg
+		return
+	}
+	if _, dup := mb.pending[key]; dup {
+		mb.mu.Unlock()
+		panic(fmt.Sprintf("comm: duplicate message for %+v", key))
+	}
+	mb.pending[key] = msg
+	mb.mu.Unlock()
+}
+
+// Wait blocks until the message with the given routing tag arrives.
+func (mb *Mailbox) Wait(kind MsgKind, epoch, layer, seq, from int) *Message {
+	key := routeKey{kind: kind, epoch: epoch, layer: layer, seq: seq, from: from}
+	mb.mu.Lock()
+	if msg, ok := mb.pending[key]; ok {
+		delete(mb.pending, key)
+		mb.mu.Unlock()
+		return msg
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		panic("comm: Wait on closed mailbox")
+	}
+	ch := make(chan *Message, 1)
+	mb.waiting[key] = ch
+	mb.mu.Unlock()
+	return <-ch
+}
+
+func (mb *Mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+}
+
+// RingOrder returns the peer sequence worker i uses under the ring schedule:
+// the j-th element is (i+j+1) mod m, so at any time slot no two workers
+// target the same destination. With ring disabled, engines use NaiveOrder.
+func RingOrder(i, m int) []int {
+	order := make([]int, 0, m-1)
+	for j := 0; j < m-1; j++ {
+		order = append(order, (i+j+1)%m)
+	}
+	return order
+}
+
+// NaiveOrder returns peers in ascending id order (0,1,...,m-1 skipping i):
+// every worker hits worker 0 first, then worker 1, ... — the congestion
+// pattern ring scheduling exists to avoid.
+func NaiveOrder(i, m int) []int {
+	order := make([]int, 0, m-1)
+	for j := 0; j < m; j++ {
+		if j != i {
+			order = append(order, j)
+		}
+	}
+	return order
+}

@@ -1,0 +1,100 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"neutronstar/internal/graph"
+)
+
+func TestProbePositiveCosts(t *testing.T) {
+	c := Probe(100e6, 100*time.Microsecond)
+	if c.Tv <= 0 || c.Te <= 0 || c.Tc <= 0 {
+		t.Fatalf("non-positive cost: %+v", c)
+	}
+}
+
+func TestProbeUnthrottledCommCost(t *testing.T) {
+	c := Probe(0, 0)
+	if c.Tc <= 0 {
+		t.Fatal("unthrottled Tc must still be positive")
+	}
+	fast := Probe(1e9, time.Microsecond)
+	slow := Probe(1e6, time.Microsecond)
+	if slow.Tc <= fast.Tc {
+		t.Fatalf("slower network must cost more: slow %v fast %v", slow.Tc, fast.Tc)
+	}
+}
+
+func TestCommCostScalesWithDim(t *testing.T) {
+	c := Costs{Tc: 2}
+	if c.CommCost(10) != 20 || c.CommCost(0) != 0 {
+		t.Fatal("CommCost wrong")
+	}
+}
+
+func TestSubtreeCost(t *testing.T) {
+	c := Costs{Tv: 1, Te: 0.5}
+	// Level 0: 1 vertex, 2 edges at dim 4; level 1: 3 vertices, 0 edges at dim 2.
+	got := c.SubtreeCost([]int{1, 3}, []int{2, 0}, []int{4, 2})
+	want := (1*1.0+2*0.5)*4 + (3*1.0+0)*2
+	if got != want {
+		t.Fatalf("SubtreeCost = %v, want %v", got, want)
+	}
+}
+
+func TestSubtreeCounterChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3: subtree of 3 at depth 2 charges level0={3,1 edge},
+	// level1={2, 1 edge}.
+	g := graph.MustFromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	sc := NewSubtreeCounter(g)
+	verts, edges := sc.Count(3, 2, nil)
+	if verts[0] != 1 || edges[0] != 1 {
+		t.Fatalf("level0 = %d/%d", verts[0], edges[0])
+	}
+	if verts[1] != 1 || edges[1] != 1 {
+		t.Fatalf("level1 = %d/%d", verts[1], edges[1])
+	}
+}
+
+func TestSubtreeCounterExclusion(t *testing.T) {
+	// Diamond into 3: 1,2 -> 3; 0 -> 1; 0 -> 2.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{Src: 1, Dst: 3}, {Src: 2, Dst: 3}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2},
+	})
+	sc := NewSubtreeCounter(g)
+	verts, edges := sc.Count(3, 2, nil)
+	if verts[0] != 1 || edges[0] != 2 {
+		t.Fatalf("level0 = %d/%d", verts[0], edges[0])
+	}
+	if verts[1] != 2 || edges[1] != 2 {
+		t.Fatalf("level1 = %d/%d", verts[1], edges[1])
+	}
+	// Excluding vertex 1: it is not expanded or charged at level 1.
+	verts, edges = sc.Count(3, 2, func(v int32) bool { return v == 1 })
+	if verts[1] != 1 || edges[1] != 1 {
+		t.Fatalf("excluded level1 = %d/%d", verts[1], edges[1])
+	}
+}
+
+func TestSubtreeCounterSharedChildCountedOnce(t *testing.T) {
+	// 0 feeds both 1 and 2, which feed 3: vertex 0 appears twice in the
+	// expansion but must be charged once (the μ-style within-subtree dedup).
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{Src: 1, Dst: 3}, {Src: 2, Dst: 3}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2},
+	})
+	sc := NewSubtreeCounter(g)
+	verts, _ := sc.Count(3, 3, nil)
+	if verts[2] != 1 {
+		t.Fatalf("shared child charged %d times", verts[2])
+	}
+}
+
+func TestSubtreeCounterDepthZero(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	sc := NewSubtreeCounter(g)
+	verts, edges := sc.Count(1, 0, nil)
+	if len(verts) != 0 || len(edges) != 0 {
+		t.Fatal("depth 0 must be empty")
+	}
+}

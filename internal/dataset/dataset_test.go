@@ -1,0 +1,281 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neutronstar/internal/graph"
+	"neutronstar/internal/tensor"
+)
+
+func smallSpec(gen Generator) Spec {
+	return Spec{
+		Name: "test", Vertices: 500, AvgDegree: 8, FeatureDim: 16,
+		NumClasses: 5, HiddenDim: 8, Gen: gen, Homophily: 0.85, Skew: 0.45, Seed: 42,
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	for _, gen := range []Generator{GenRMAT, GenSBM} {
+		a := Load(smallSpec(gen))
+		b := Load(smallSpec(gen))
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("gen %d: edge counts differ", gen)
+		}
+		if !a.Features.Equal(b.Features) {
+			t.Fatalf("gen %d: features differ across loads", gen)
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("gen %d: labels differ at %d", gen, i)
+			}
+		}
+	}
+}
+
+func TestLoadDifferentSeedsDiffer(t *testing.T) {
+	s1 := smallSpec(GenRMAT)
+	s2 := s1
+	s2.Seed = 43
+	a, b := Load(s1), Load(s2)
+	if a.Features.Equal(b.Features) {
+		t.Fatal("different seeds produced identical features")
+	}
+}
+
+func TestGeneratedShapes(t *testing.T) {
+	for _, gen := range []Generator{GenRMAT, GenSBM} {
+		d := Load(smallSpec(gen))
+		if d.NumVertices() != 500 {
+			t.Fatalf("V = %d", d.NumVertices())
+		}
+		if d.Features.Rows() != 500 || d.Features.Cols() != 16 {
+			t.Fatalf("features %dx%d", d.Features.Rows(), d.Features.Cols())
+		}
+		if len(d.Labels) != 500 {
+			t.Fatal("labels length wrong")
+		}
+		for _, l := range d.Labels {
+			if l < 0 || l >= 5 {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestAvgDegreeApproximatelyMet(t *testing.T) {
+	for _, gen := range []Generator{GenRMAT, GenSBM} {
+		d := Load(smallSpec(gen))
+		avg := float64(d.NumEdges()) / float64(d.NumVertices())
+		if math.Abs(avg-8) > 1.0 {
+			t.Fatalf("gen %d: avg degree %v, want ~8", gen, avg)
+		}
+	}
+}
+
+func TestMasksPartition(t *testing.T) {
+	d := Load(smallSpec(GenSBM))
+	nTrain, nVal, nTest := 0, 0, 0
+	for i := range d.TrainMask {
+		c := 0
+		if d.TrainMask[i] {
+			c++
+			nTrain++
+		}
+		if d.ValMask[i] {
+			c++
+			nVal++
+		}
+		if d.TestMask[i] {
+			c++
+			nTest++
+		}
+		if c != 1 {
+			t.Fatalf("vertex %d in %d splits", i, c)
+		}
+	}
+	if nTrain != 300 || nVal != 100 || nTest != 100 {
+		t.Fatalf("split sizes %d/%d/%d", nTrain, nVal, nTest)
+	}
+	if d.TrainLabeledCount() != nTrain {
+		t.Fatal("TrainLabeledCount mismatch")
+	}
+}
+
+func TestSBMHomophily(t *testing.T) {
+	d := Load(smallSpec(GenSBM))
+	intra := 0
+	for _, e := range d.Graph.Edges() {
+		if d.Labels[e.Src] == d.Labels[e.Dst] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(d.NumEdges())
+	// Homophily 0.85 plus chance hits from the non-homophilous 15%.
+	if frac < 0.75 {
+		t.Fatalf("intra-class edge fraction %v, want >= 0.75", frac)
+	}
+}
+
+func TestSBMFeaturesSeparateClasses(t *testing.T) {
+	d := Load(smallSpec(GenSBM))
+	// Mean intra-class centroid distance must be clearly below inter-class:
+	// compute class means, then check nearest-centroid accuracy > chance.
+	k := d.Spec.NumClasses
+	dim := d.Spec.FeatureDim
+	means := tensor.New(k, dim)
+	counts := make([]int, k)
+	for v := 0; v < d.NumVertices(); v++ {
+		c := int(d.Labels[v])
+		counts[c]++
+		row := means.Row(c)
+		for j, f := range d.Features.Row(v) {
+			row[j] += f
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("class %d empty", c)
+		}
+		row := means.Row(c)
+		for j := range row {
+			row[j] /= float32(counts[c])
+		}
+	}
+	correct := 0
+	for v := 0; v < d.NumVertices(); v++ {
+		best, bc := math.Inf(1), -1
+		for c := 0; c < k; c++ {
+			var dist float64
+			for j, f := range d.Features.Row(v) {
+				df := float64(f - means.At(c, j))
+				dist += df * df
+			}
+			if dist < best {
+				best, bc = dist, c
+			}
+		}
+		if bc == int(d.Labels[v]) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.NumVertices())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy %v, features carry no signal", acc)
+	}
+}
+
+func TestRMATDegreeSkew(t *testing.T) {
+	spec := smallSpec(GenRMAT)
+	spec.Vertices = 2000
+	d := Load(spec)
+	s := graph.ComputeStats(d.Graph)
+	// Power-law-ish: max degree well above average.
+	if float64(s.MaxInDegree) < 4*s.AvgInDegree {
+		t.Fatalf("max degree %d vs avg %v: no skew", s.MaxInDegree, s.AvgInDegree)
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	for _, gen := range []Generator{GenRMAT, GenSBM} {
+		d := Load(smallSpec(gen))
+		for _, e := range d.Graph.Edges() {
+			if e.Src == e.Dst {
+				t.Fatalf("gen %d produced a self loop at %d", gen, e.Src)
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names()) != 10 {
+		t.Fatalf("registry has %d datasets, want 10", len(Names()))
+	}
+	for _, name := range append(BigGraphNames(), CitationNames()...) {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Fatalf("spec name %q under key %q", s.Name, name)
+		}
+		if s.Vertices <= 0 || s.AvgDegree <= 0 || s.FeatureDim <= 0 ||
+			s.NumClasses <= 0 || s.HiddenDim <= 0 {
+			t.Fatalf("%s: incomplete spec %+v", name, s)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestRegistryDegreeOrderingMatchesPaper(t *testing.T) {
+	// Reddit must remain the densest, google the sparsest of the big seven.
+	degrees := map[string]float64{}
+	for _, n := range BigGraphNames() {
+		s := MustGet(n)
+		degrees[n] = s.AvgDegree
+	}
+	for _, n := range BigGraphNames() {
+		if n != "reddit" && degrees[n] >= degrees["reddit"] {
+			t.Fatalf("%s degree %v >= reddit %v", n, degrees[n], degrees["reddit"])
+		}
+		if n != "google" && degrees[n] <= degrees["google"] {
+			t.Fatalf("%s degree %v <= google %v", n, degrees[n], degrees["google"])
+		}
+	}
+}
+
+func TestLoadByName(t *testing.T) {
+	d, err := LoadByName("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() != 2700 {
+		t.Fatalf("cora V = %d", d.NumVertices())
+	}
+	if _, err := LoadByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+	_ = Table2Header()
+	_ = Table2Row(d)
+}
+
+// Property: every generated graph is structurally valid — degrees sum to |E|
+// and every class is non-empty for SBM.
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed uint64, v8 uint8, isSBM bool) bool {
+		spec := Spec{
+			Name: "q", Vertices: int(v8%100) + 20, AvgDegree: 4,
+			FeatureDim: 4, NumClasses: 3, HiddenDim: 4,
+			Homophily: 0.8, Skew: 0.45, Seed: seed,
+		}
+		if isSBM {
+			spec.Gen = GenSBM
+		}
+		d := Load(spec)
+		var din int
+		for v := 0; v < d.NumVertices(); v++ {
+			din += d.Graph.InDegree(int32(v))
+		}
+		if din != d.NumEdges() {
+			return false
+		}
+		if isSBM {
+			seen := make([]bool, spec.NumClasses)
+			for _, l := range d.Labels {
+				seen[l] = true
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

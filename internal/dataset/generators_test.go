@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"testing"
+
+	"neutronstar/internal/graph"
+	"neutronstar/internal/partition"
+)
+
+// Generator-specific structural tests beyond dataset_test.go.
+
+func TestLocalityGeneratorChunkLocality(t *testing.T) {
+	d := Load(Spec{
+		Name: "loc", Vertices: 4000, AvgDegree: 8, FeatureDim: 4,
+		NumClasses: 4, HiddenDim: 4, Gen: GenLocality, LocalityScale: 0.01, Seed: 91,
+	})
+	p, err := partition.New(partition.Chunk, d.Graph, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := partition.Evaluate(p, d.Graph)
+	// The generator's whole point: chunk partitioning keeps most edges local.
+	if q.CutRatio > 0.25 {
+		t.Fatalf("locality graph cut ratio %v too high", q.CutRatio)
+	}
+	// Contrast: an RMAT graph of the same shape has a far higher cut.
+	r := Load(Spec{
+		Name: "rmat", Vertices: 4000, AvgDegree: 8, FeatureDim: 4,
+		NumClasses: 4, HiddenDim: 4, Gen: GenRMAT, Seed: 91,
+	})
+	pr, _ := partition.New(partition.Chunk, r.Graph, 8)
+	qr := partition.Evaluate(pr, r.Graph)
+	if qr.CutRatio < 2*q.CutRatio {
+		t.Fatalf("RMAT cut %v not clearly above locality cut %v", qr.CutRatio, q.CutRatio)
+	}
+}
+
+func TestLocalityGeneratorDefaultScale(t *testing.T) {
+	d := Load(Spec{
+		Name: "loc0", Vertices: 500, AvgDegree: 6, FeatureDim: 4,
+		NumClasses: 4, HiddenDim: 4, Gen: GenLocality, Seed: 92, // LocalityScale unset
+	})
+	if d.NumEdges() == 0 {
+		t.Fatal("default locality scale generated nothing")
+	}
+}
+
+func TestSignalStrengthControlsSeparability(t *testing.T) {
+	base := Spec{
+		Name: "sig", Vertices: 600, AvgDegree: 8, FeatureDim: 16,
+		NumClasses: 5, HiddenDim: 8, Gen: GenSBM, Homophily: 0.8, Seed: 93,
+	}
+	weak := base
+	weak.SignalStrength = 0.05
+	strong := base
+	strong.SignalStrength = 3.0
+	accWeak := nearestCentroidAccuracy(Load(weak))
+	accStrong := nearestCentroidAccuracy(Load(strong))
+	if accStrong < accWeak+0.2 {
+		t.Fatalf("signal strength had no effect: weak %v strong %v", accWeak, accStrong)
+	}
+}
+
+func nearestCentroidAccuracy(d *Dataset) float64 {
+	k := d.Spec.NumClasses
+	dim := d.Spec.FeatureDim
+	means := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for v := 0; v < d.NumVertices(); v++ {
+		c := int(d.Labels[v])
+		counts[c]++
+		for j, f := range d.Features.Row(v) {
+			means[c][j] += float64(f)
+		}
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for v := 0; v < d.NumVertices(); v++ {
+		best, bc := -1.0, -1
+		for c := 0; c < k; c++ {
+			var dist float64
+			for j, f := range d.Features.Row(v) {
+				df := float64(f) - means[c][j]
+				dist += df * df
+			}
+			if bc < 0 || dist < best {
+				best, bc = dist, c
+			}
+		}
+		if bc == int(d.Labels[v]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumVertices())
+}
+
+func TestRMATEdgesInRange(t *testing.T) {
+	d := Load(Spec{
+		Name: "rr", Vertices: 777, AvgDegree: 5, FeatureDim: 4, // non power of two
+		NumClasses: 4, HiddenDim: 4, Gen: GenRMAT, Seed: 94,
+	})
+	for _, e := range d.Graph.Edges() {
+		if e.Src < 0 || e.Src >= 777 || e.Dst < 0 || e.Dst >= 777 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+	_ = graph.ComputeStats(d.Graph)
+}

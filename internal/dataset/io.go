@@ -1,0 +1,296 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"neutronstar/internal/graph"
+	"neutronstar/internal/tensor"
+)
+
+// On-disk dataset layout (plain text, one dataset per directory):
+//
+//	meta.txt      key=value lines: name, classes, hidden
+//	graph.txt     first line "<V> <E>", then one "src dst" pair per line
+//	features.txt  V lines of space-separated float32 values
+//	labels.txt    V lines: "<label> <split>" with split ∈ {train,val,test}
+//
+// The format trades compactness for inspectability — these are research
+// datasets, and being able to grep them matters more than disk bytes.
+
+// Save writes the dataset into dir (created if absent).
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeMeta(filepath.Join(dir, "meta.txt"), d); err != nil {
+		return err
+	}
+	if err := writeGraph(filepath.Join(dir, "graph.txt"), d.Graph); err != nil {
+		return err
+	}
+	if err := writeFeatures(filepath.Join(dir, "features.txt"), d.Features); err != nil {
+		return err
+	}
+	return writeLabels(filepath.Join(dir, "labels.txt"), d)
+}
+
+// LoadDir reads a dataset previously written by Save (or hand-authored in
+// the same format).
+func LoadDir(dir string) (*Dataset, error) {
+	d := &Dataset{}
+	if err := readMeta(filepath.Join(dir, "meta.txt"), d); err != nil {
+		return nil, err
+	}
+	g, err := readGraph(filepath.Join(dir, "graph.txt"))
+	if err != nil {
+		return nil, err
+	}
+	d.Graph = g
+	d.Spec.Vertices = g.NumVertices()
+	if g.NumVertices() > 0 {
+		d.Spec.AvgDegree = float64(g.NumEdges()) / float64(g.NumVertices())
+	}
+	ftr, err := readFeatures(filepath.Join(dir, "features.txt"), g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	d.Features = ftr
+	d.Spec.FeatureDim = ftr.Cols()
+	if err := readLabels(filepath.Join(dir, "labels.txt"), d); err != nil {
+		return nil, err
+	}
+	for _, l := range d.Labels {
+		if int(l) >= d.Spec.NumClasses {
+			return nil, fmt.Errorf("dataset: label %d outside %d classes declared in meta.txt", l, d.Spec.NumClasses)
+		}
+	}
+	return d, nil
+}
+
+func writeMeta(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintf(f, "name=%s\nclasses=%d\nhidden=%d\n",
+		d.Spec.Name, d.Spec.NumClasses, d.Spec.HiddenDim)
+	return err
+}
+
+func readMeta(path string, d *Dataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return fmt.Errorf("dataset: bad meta line %q", line)
+		}
+		switch k {
+		case "name":
+			d.Spec.Name = v
+		case "classes":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("dataset: bad classes %q", v)
+			}
+			d.Spec.NumClasses = n
+		case "hidden":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("dataset: bad hidden %q", v)
+			}
+			d.Spec.HiddenDim = n
+		default:
+			return fmt.Errorf("dataset: unknown meta key %q", k)
+		}
+	}
+	return sc.Err()
+}
+
+func writeGraph(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "%d %d\n", g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
+	}
+	return w.Flush()
+}
+
+func readGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty graph file %s", path)
+	}
+	var nv, ne int
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &nv, &ne); err != nil {
+		return nil, fmt.Errorf("dataset: bad graph header %q: %w", sc.Text(), err)
+	}
+	edges := make([]graph.Edge, 0, ne)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s, d int32
+		if _, err := fmt.Sscanf(line, "%d %d", &s, &d); err != nil {
+			return nil, fmt.Errorf("dataset: bad edge line %q: %w", line, err)
+		}
+		edges = append(edges, graph.Edge{Src: s, Dst: d})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) != ne {
+		return nil, fmt.Errorf("dataset: header declares %d edges, file has %d", ne, len(edges))
+	}
+	return graph.FromEdges(nv, edges)
+}
+
+func writeFeatures(path string, ftr *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < ftr.Rows(); i++ {
+		row := ftr.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				w.WriteByte(' ')
+			}
+			w.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32))
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+func readFeatures(path string, numVertices int) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var rows [][]float32
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		row := make([]float32, len(fields))
+		for j, fv := range fields {
+			x, err := strconv.ParseFloat(fv, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad feature %q on row %d: %w", fv, len(rows), err)
+			}
+			row[j] = float32(x)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) != numVertices {
+		return nil, fmt.Errorf("dataset: %d feature rows for %d vertices", len(rows), numVertices)
+	}
+	return tensor.FromRows(rows), nil
+}
+
+func writeLabels(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for v, l := range d.Labels {
+		split := "test"
+		switch {
+		case d.TrainMask[v]:
+			split = "train"
+		case d.ValMask[v]:
+			split = "val"
+		}
+		fmt.Fprintf(w, "%d %s\n", l, split)
+	}
+	return w.Flush()
+}
+
+func readLabels(path string, d *Dataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n := d.Graph.NumVertices()
+	d.Labels = make([]int32, 0, n)
+	d.TrainMask = make([]bool, n)
+	d.ValMask = make([]bool, n)
+	d.TestMask = make([]bool, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v := len(d.Labels)
+		if v >= n {
+			return fmt.Errorf("dataset: more label lines than vertices (%d)", n)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("dataset: bad label line %q", line)
+		}
+		l, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("dataset: bad label %q: %w", fields[0], err)
+		}
+		d.Labels = append(d.Labels, int32(l))
+		switch fields[1] {
+		case "train":
+			d.TrainMask[v] = true
+		case "val":
+			d.ValMask[v] = true
+		case "test":
+			d.TestMask[v] = true
+		default:
+			return fmt.Errorf("dataset: unknown split %q", fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(d.Labels) != n {
+		return fmt.Errorf("dataset: %d labels for %d vertices", len(d.Labels), n)
+	}
+	return nil
+}

@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"neutronstar/internal/comm"
+	"neutronstar/internal/costmodel"
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/hybrid"
+	"neutronstar/internal/metrics"
+	"neutronstar/internal/nn"
+	"neutronstar/internal/partition"
+	"neutronstar/internal/tensor"
+)
+
+// Mode selects the dependency-management strategy.
+type Mode string
+
+const (
+	// DepCache replicates every remote dependency's subtree (Algorithm 2).
+	DepCache Mode = "depcache"
+	// DepComm communicates every remote dependency per layer (Algorithm 3).
+	DepComm Mode = "depcomm"
+	// Hybrid splits dependencies by the Algorithm 4 cost model.
+	Hybrid Mode = "hybrid"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the simulated cluster size m.
+	Workers int
+	// Mode selects DepCache, DepComm or Hybrid.
+	Mode Mode
+	// Model selects the GNN architecture; Hidden overrides the dataset's
+	// default hidden dimension when > 0; Layers sets the propagation depth L
+	// (default 2, as in all of the paper's experiments — the machinery
+	// supports arbitrary depth, with dependency subtrees growing accordingly).
+	Model  nn.ModelKind
+	Hidden int
+	Layers int
+	// Partitioner selects the graph partitioning algorithm (default Chunk).
+	Partitioner partition.Algorithm
+	// Profile is the simulated network; default ProfileLocal (unthrottled).
+	Profile comm.NetworkProfile
+	// TCP moves all worker communication over real loopback TCP sockets
+	// (with the profile's pacing applied at egress) instead of in-process
+	// channels — same protocol, real serialisation.
+	TCP bool
+	// Ring enables ring-based communication scheduling (the paper's "R").
+	Ring bool
+	// LockFree enables lock-free parallel message enqueuing ("L").
+	LockFree bool
+	// Overlap enables communication/computation overlapping ("P").
+	Overlap bool
+	// ParamServer replaces the ring all-reduce with a parameter-server
+	// update: workers push gradients to worker 0, which applies the
+	// optimiser once and broadcasts fresh parameters (the alternative the
+	// paper notes the All-Reduce model can be swapped for, §4.1).
+	ParamServer bool
+	// Broadcast switches to ROC-style whole-block communication: a worker
+	// sends its entire owned representation block to every peer that needs
+	// any of it, and receivers pick out the rows they need. This reproduces
+	// the communication inefficiency the paper measured in ROC (§5.3); the
+	// default (false) is NeutronStar's source-specific chunking.
+	Broadcast bool
+	// LR is the optimiser learning rate (default 0.01, Adam). Scheduler,
+	// when set, overrides LR per epoch (replicas evaluate it identically).
+	LR        float32
+	Scheduler nn.Scheduler
+	// ClipNorm, when > 0, clips the global gradient L2 norm after the
+	// all-reduce, before the optimiser step.
+	ClipNorm float64
+	// Dropout applies during training (default 0).
+	Dropout float32
+	// Seed fixes model init and dropout streams.
+	Seed uint64
+	// MemBudget caps per-worker replica bytes for Hybrid (0 = unlimited).
+	MemBudget int64
+	// Costs overrides probed environment factors when non-zero; the Fig 11
+	// sweep uses this together with ForceRatio.
+	Costs costmodel.Costs
+	// ForceRatio, when enabled, bypasses the cost-based greedy and caches a
+	// fixed fraction (CacheRatio ∈ [0,1]) of dependencies per layer — the
+	// manual sweep of Figure 11.
+	ForceRatio bool
+	CacheRatio float64
+	// Collector receives utilisation metrics (may be nil).
+	Collector *metrics.Collector
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Mode == "" {
+		o.Mode = Hybrid
+	}
+	if o.Model == "" {
+		o.Model = nn.GCN
+	}
+	if o.Partitioner == "" {
+		o.Partitioner = partition.Chunk
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	return o
+}
+
+// EpochStats reports one epoch's outcome.
+type EpochStats struct {
+	Epoch int
+	// Loss is the mean training loss over all labeled vertices.
+	Loss float64
+	// Duration is the wall-clock epoch time (forward+backward+update).
+	Duration time.Duration
+}
+
+// Engine trains one model on one dataset over a simulated cluster.
+type Engine struct {
+	opts   Options
+	ds     *dataset.Dataset
+	part   *partition.Partition
+	decs   []*hybrid.Decision
+	plans  []*workerPlan
+	fabric comm.Network
+	states []*workerState
+	dims   []int
+	epoch  int
+	// predicts counts inference passes for message-tag uniqueness.
+	predicts int
+
+	// PreprocessTime is the hybrid dependency-partitioning time (Table 3's
+	// "Preprocessing" row).
+	PreprocessTime time.Duration
+}
+
+// NewEngine builds the cluster: partitions the graph, runs the dependency
+// planner for the chosen mode, derives execution plans, and replicates the
+// model onto every worker.
+func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	hiddenDim := ds.Spec.HiddenDim
+	if opts.Hidden > 0 {
+		hiddenDim = opts.Hidden
+	}
+	layers := opts.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	dims := make([]int, 0, layers+1)
+	dims = append(dims, ds.Spec.FeatureDim)
+	for l := 1; l < layers; l++ {
+		dims = append(dims, hiddenDim)
+	}
+	dims = append(dims, ds.Spec.NumClasses)
+
+	part, err := partition.New(opts.Partitioner, ds.Graph, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	costs := opts.Costs
+	if costs == (costmodel.Costs{}) {
+		costs = probeCached(opts.Profile)
+	}
+	planner := &hybrid.Planner{
+		Graph: ds.Graph, Part: part, Dims: dims,
+		Costs: costs, MemBudget: opts.MemBudget, Ratio: opts.CacheRatio,
+	}
+	var mode hybrid.Mode
+	switch opts.Mode {
+	case DepCache:
+		mode = hybrid.ModeAllCache
+	case DepComm:
+		mode = hybrid.ModeAllComm
+	case Hybrid:
+		if opts.ForceRatio {
+			mode = hybrid.ModeRatio
+		} else {
+			mode = hybrid.ModeHybrid
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %q", opts.Mode)
+	}
+	start := time.Now()
+	decs, err := planner.DecideAll(mode)
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(start)
+
+	plans, err := buildPlans(ds.Graph, part, decs, dims)
+	if err != nil {
+		return nil, err
+	}
+
+	var fabric comm.Network
+	if opts.TCP {
+		fabric, err = comm.NewTCPFabric(opts.Workers, opts.Profile, opts.Collector)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fabric = comm.NewFabric(opts.Workers, opts.Profile, opts.Collector)
+	}
+	e := &Engine{
+		opts: opts, ds: ds, part: part, decs: decs, plans: plans, dims: dims,
+		fabric:         fabric,
+		PreprocessTime: preprocess,
+	}
+	e.states = make([]*workerState, opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		model, err := nn.NewModel(opts.Model, dims, opts.Dropout, opts.Seed+7)
+		if err != nil {
+			e.fabric.Close()
+			return nil, err
+		}
+		e.states[i] = newWorkerState(i, e, model)
+	}
+	return e, nil
+}
+
+// probeCache memoises environment probes per network profile: the factors
+// describe the host and fabric, not the workload, so one measurement per
+// process is both faster and — more importantly — stable, keeping Algorithm
+// 4's decisions deterministic across engines built in the same run.
+var probeCache sync.Map // NetworkProfile -> costmodel.Costs
+
+func probeCached(p comm.NetworkProfile) costmodel.Costs {
+	if v, ok := probeCache.Load(p); ok {
+		return v.(costmodel.Costs)
+	}
+	c := costmodel.Probe(p.BytesPerSec, p.Latency)
+	probeCache.Store(p, c)
+	return c
+}
+
+// Mode returns the engine's dependency-management mode.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// NumWorkers returns the cluster size.
+func (e *Engine) NumWorkers() int { return e.opts.Workers }
+
+// Decisions exposes the per-worker dependency decisions (for reporting).
+func (e *Engine) Decisions() []*hybrid.Decision { return e.decs }
+
+// CacheBytes returns the total replica storage across workers.
+func (e *Engine) CacheBytes() int64 {
+	var b int64
+	for _, p := range e.plans {
+		b += p.cacheBytes
+	}
+	return b
+}
+
+// Close releases the fabric. The engine must not be used afterwards.
+func (e *Engine) Close() { e.fabric.Close() }
+
+// RunEpoch executes one synchronous training epoch across all workers and
+// returns aggregate statistics.
+func (e *Engine) RunEpoch() EpochStats {
+	start := time.Now()
+	type result struct {
+		lossSum float64
+		count   int
+	}
+	results := make(chan result, len(e.states))
+	for _, ws := range e.states {
+		go func(ws *workerState) {
+			sum, n := ws.runEpoch(e.epoch)
+			results <- result{lossSum: sum, count: n}
+		}(ws)
+	}
+	var lossSum float64
+	var count int
+	for range e.states {
+		r := <-results
+		lossSum += r.lossSum
+		count += r.count
+	}
+	e.epoch++
+	st := EpochStats{Epoch: e.epoch, Duration: time.Since(start)}
+	if count > 0 {
+		st.Loss = lossSum / float64(count)
+	}
+	return st
+}
+
+// Train runs epochs epochs and returns the stats of each.
+func (e *Engine) Train(epochs int) []EpochStats {
+	out := make([]EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		out = append(out, e.RunEpoch())
+	}
+	return out
+}
+
+// Params returns worker 0's model parameters (replicas are identical).
+func (e *Engine) Params() []*nn.Param { return e.states[0].model.Params() }
+
+// Model returns worker 0's model replica.
+func (e *Engine) Model() *nn.Model { return e.states[0].model }
+
+// predictEpochBase keeps inference message tags disjoint from training
+// epochs in the mailbox routing space.
+const predictEpochBase = 1 << 28
+
+// Predict runs one distributed forward-only pass (dropout disabled) and
+// returns the final-layer logits for every vertex, assembled from the
+// workers' owned blocks.
+func (e *Engine) Predict() *tensor.Tensor {
+	e.predicts++
+	epoch := predictEpochBase + e.predicts
+	type part struct {
+		id   int
+		rows *tensor.Tensor
+	}
+	results := make(chan part, len(e.states))
+	for _, ws := range e.states {
+		go func(ws *workerState) {
+			results <- part{id: ws.id, rows: ws.runForward(epoch)}
+		}(ws)
+	}
+	out := tensor.New(e.ds.NumVertices(), e.dims[len(e.dims)-1])
+	for range e.states {
+		p := <-results
+		for r, v := range e.plans[p.id].owned {
+			copy(out.Row(int(v)), p.rows.Row(r))
+		}
+	}
+	return out
+}
+
+// Evaluate computes classification accuracy over the vertices selected by
+// mask, using a distributed forward pass with the current parameters.
+func (e *Engine) Evaluate(mask []bool) float64 {
+	logits := e.Predict()
+	pred := tensor.ArgMaxRows(logits)
+	correct, total := 0, 0
+	for v, m := range mask {
+		if !m {
+			continue
+		}
+		total++
+		if int32(pred[v]) == e.ds.Labels[v] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// ReplicasInSync reports whether all workers hold bit-identical parameters;
+// training correctness depends on this invariant.
+func (e *Engine) ReplicasInSync() bool {
+	ref := e.states[0].model.Params()
+	for _, ws := range e.states[1:] {
+		ps := ws.model.Params()
+		for k := range ref {
+			if !ref[k].Value.Equal(ps[k].Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// graphOf exposes the dataset graph to worker internals.
+func (e *Engine) graphOf() *graph.Graph { return e.ds.Graph }
+
+// SaveModel serialises the current parameters (all replicas are identical,
+// so worker 0's copy is canonical).
+func (e *Engine) SaveModel(w io.Writer) error {
+	return e.states[0].model.SaveParams(w)
+}
+
+// LoadModel restores parameters into every worker's replica, preserving the
+// replicas-identical invariant. The checkpoint must match the engine's
+// model architecture.
+func (e *Engine) LoadModel(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	for _, ws := range e.states {
+		if err := ws.model.LoadParams(bytes.NewReader(data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+// Package engine executes distributed GNN training. It implements the
+// paper's unified pipeline (Fig. 6): every layer runs GetFromDepNbr →
+// ScatterToEdge → EdgeForward → GatherByDst → VertexForward, with the
+// backward duals generated automatically by the autograd tape, and the
+// cross-worker boundary handled by master–mirror messages
+// (synchronize-compute forward, compute-synchronize backward, Fig. 7).
+//
+// The three training modes — DepCache, DepComm, Hybrid — share this single
+// implementation; they differ only in the hybrid.Decision that assigns each
+// remote dependency to replication or communication. The plan in this file
+// turns a Decision into the static per-worker execution structures: which
+// non-owned vertices are redundantly computed at each layer, which rows are
+// exchanged with which peer, and the index arrays the gather/scatter ops use.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"neutronstar/internal/graph"
+	"neutronstar/internal/hybrid"
+	"neutronstar/internal/partition"
+)
+
+// blockPlan holds the edge-level index arrays for one destination block of
+// one layer (the owned block or the cached block).
+type blockPlan struct {
+	// dsts are the global ids of the block's destination vertices, in output
+	// row order.
+	dsts []int32
+	// srcRow[e] is the HAll row of edge e's source; edges are grouped by
+	// destination (CSC order over the block).
+	srcRow []int32
+	// dstRow[e] is the output row of edge e's destination within the block.
+	dstRow []int32
+	// offsets delimits each destination's edge group (len(dsts)+1).
+	offsets []int32
+	// selfRow[r] is the prev-rows index of destination r itself.
+	selfRow []int32
+	// edgeNorm / selfNorm are GCN normalisation coefficients.
+	edgeNorm []float32
+	selfNorm []float32
+}
+
+func (b *blockPlan) numDst() int { return len(b.dsts) }
+
+// chunkGroup is the owned block's edge subset whose sources live in one
+// region: the local prev rows (peer == -1) or one peer's received chunk.
+// srcLocal indexes within that region's own row space, so each group can
+// gather directly from its chunk leaf — the basis of §4.3's incremental
+// per-chunk aggregation.
+type chunkGroup struct {
+	peer     int
+	srcLocal []int32
+	dstRow   []int32
+	edgeNorm []float32
+}
+
+// layerPlan is the per-layer execution structure of one worker.
+type layerPlan struct {
+	// recv[j] lists vertices received from peer j this layer (ascending);
+	// empty for j == self and peers with nothing to send.
+	recv [][]int32
+	// recvOffset[j] is the starting HAll row of peer j's chunk.
+	recvOffset []int32
+	// send[j] lists owned vertices whose rows are sent to peer j.
+	send [][]int32
+	// owned is the block of destinations this worker owns; cached is the
+	// block of replicated destinations whose layer output is recomputed
+	// locally (the DepCache portion of the hybrid split).
+	owned  blockPlan
+	cached blockPlan
+	// numPrevRows = |owned| + |cachedCompute[l-1]|: the rows carried over
+	// from the previous layer's output (or the feature assembly for l=1).
+	numPrevRows int
+	// numHAllRows = numPrevRows + total received rows.
+	numHAllRows int
+	// ownedGroups re-expresses the owned block's edges grouped by source
+	// region for chunk-pipelined aggregation.
+	ownedGroups []chunkGroup
+}
+
+// workerPlan is the full static execution plan of one worker.
+type workerPlan struct {
+	id    int
+	owned []int32
+	// cachedCompute[k], k=0..L-1: non-owned vertices whose h^(k) this worker
+	// computes redundantly (k>=1), or whose features it caches (k=0).
+	cachedCompute [][]int32
+	layers        []layerPlan
+	// prevIndex[k] maps a global vertex id to its row in the layer-k output
+	// layout (owned ++ cachedCompute[k]); -1 if absent.
+	// Only vertices in the layout appear.
+	prevIndex []map[int32]int32
+	// cacheBytes is the replica storage implied by cachedCompute (for
+	// reporting against the Decision estimate).
+	cacheBytes int64
+}
+
+// buildPlans derives all workers' execution plans from the dependency
+// decisions. dims is d^(0)..d^(L).
+func buildPlans(g *graph.Graph, part *partition.Partition, decs []*hybrid.Decision, dims []int) ([]*workerPlan, error) {
+	m := part.NumParts
+	L := len(dims) - 1
+	if len(decs) != m {
+		return nil, fmt.Errorf("engine: %d decisions for %d workers", len(decs), m)
+	}
+	// Per-edge coefficients are recomputed from degrees inside buildBlock
+	// (indexing the global CSC edge array across worker-local edge orders
+	// would be error-prone); only the per-vertex self coefficients are
+	// precomputed here.
+	_, selfNormAll := graph.GCNNormCoefficients(g)
+
+	plans := make([]*workerPlan, m)
+	for i := 0; i < m; i++ {
+		p, err := buildWorkerPlan(g, part, decs[i], dims, i, selfNormAll)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+
+	// Wire send lists: worker i sends to j at layer l exactly what j's plan
+	// receives from i.
+	for i := 0; i < m; i++ {
+		for l := 0; l < L; l++ {
+			plans[i].layers[l].send = make([][]int32, m)
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				plans[i].layers[l].send[j] = plans[j].layers[l].recv[i]
+			}
+		}
+	}
+	return plans, nil
+}
+
+// buildWorkerPlan derives worker i's plan from its dependency decision.
+func buildWorkerPlan(g *graph.Graph, part *partition.Partition, dec *hybrid.Decision,
+	dims []int, i int, selfNormAll []float32) (*workerPlan, error) {
+
+	L := len(dims) - 1
+	owned := part.Parts[i]
+	isOwned := func(v int32) bool { return part.Assign[v] == int32(i) }
+
+	// 1. Derive cachedCompute sets by expanding every cached dependency's
+	// subtree: caching u for layer l requires h^(l-1)_u locally, which
+	// requires u at every lower level (self chain) and u's non-owned
+	// in-neighbors one level down.
+	cachedSet := make([]map[int32]struct{}, L) // index k = level
+	for k := range cachedSet {
+		cachedSet[k] = make(map[int32]struct{})
+	}
+	var need func(v int32, lvl int)
+	need = func(v int32, lvl int) {
+		if isOwned(v) || lvl < 0 {
+			return
+		}
+		if _, ok := cachedSet[lvl][v]; ok {
+			return
+		}
+		cachedSet[lvl][v] = struct{}{}
+		// Self chain: h^(lvl)_v needs h^(lvl-1)_v (self term) ... down to
+		// features.
+		need(v, lvl-1)
+		if lvl >= 1 {
+			for _, w := range g.InNeighbors(v) {
+				need(w, lvl-1)
+			}
+		}
+	}
+	for l := 1; l <= L; l++ {
+		for _, u := range dec.R[l-1] {
+			need(u, l-1)
+		}
+	}
+	p := &workerPlan{id: i, owned: owned, cachedCompute: make([][]int32, L)}
+	for k := 0; k < L; k++ {
+		p.cachedCompute[k] = sortedFromSet(cachedSet[k])
+		p.cacheBytes += int64(len(p.cachedCompute[k])) * int64(4*dims[k])
+	}
+
+	// 2. prevIndex maps for each level layout (owned ++ cachedCompute[k]).
+	p.prevIndex = make([]map[int32]int32, L)
+	for k := 0; k < L; k++ {
+		idx := make(map[int32]int32, len(owned)+len(p.cachedCompute[k]))
+		for r, v := range owned {
+			idx[v] = int32(r)
+		}
+		for r, v := range p.cachedCompute[k] {
+			idx[v] = int32(len(owned) + r)
+		}
+		p.prevIndex[k] = idx
+	}
+
+	// 3. Per-layer recv chunks and edge index arrays.
+	p.layers = make([]layerPlan, L)
+	for l := 1; l <= L; l++ {
+		lp := &p.layers[l-1]
+		lp.numPrevRows = len(owned) + len(p.cachedCompute[l-1])
+
+		// Communicated dependencies still missing locally at this layer.
+		recvByPeer := make([]map[int32]struct{}, part.NumParts)
+		for _, u := range dec.C[l-1] {
+			if _, cached := cachedSet[l-1][u]; cached {
+				continue // replicated by another layer's subtree
+			}
+			o := part.Assign[u]
+			if recvByPeer[o] == nil {
+				recvByPeer[o] = make(map[int32]struct{})
+			}
+			recvByPeer[o][u] = struct{}{}
+		}
+		lp.recv = make([][]int32, part.NumParts)
+		lp.recvOffset = make([]int32, part.NumParts)
+		off := int32(lp.numPrevRows)
+		for j := 0; j < part.NumParts; j++ {
+			lp.recv[j] = sortedFromSet(recvByPeer[j])
+			lp.recvOffset[j] = off
+			off += int32(len(lp.recv[j]))
+		}
+		lp.numHAllRows = int(off)
+
+		// Row resolver for edge sources in HAll.
+		recvIndex := make(map[int32]int32)
+		for j := 0; j < part.NumParts; j++ {
+			for r, v := range lp.recv[j] {
+				recvIndex[v] = lp.recvOffset[j] + int32(r)
+			}
+		}
+		resolve := func(u int32) (int32, error) {
+			if r, ok := p.prevIndex[l-1][u]; ok {
+				return r, nil
+			}
+			if r, ok := recvIndex[u]; ok {
+				return r, nil
+			}
+			return 0, fmt.Errorf("engine: worker %d layer %d: source %d unavailable", i, l, u)
+		}
+
+		var err error
+		lp.owned, err = buildBlock(g, owned, resolve, p.prevIndex[l-1], selfNormAll)
+		if err != nil {
+			return nil, err
+		}
+		lp.cached, err = buildBlock(g, p.cachedComputeAt(l), resolve, p.prevIndex[l-1], selfNormAll)
+		if err != nil {
+			return nil, err
+		}
+		lp.ownedGroups = buildChunkGroups(lp, part.NumParts)
+	}
+	return p, nil
+}
+
+// buildChunkGroups splits the owned block's edges by source region.
+func buildChunkGroups(lp *layerPlan, numPeers int) []chunkGroup {
+	local := chunkGroup{peer: -1}
+	byPeer := make(map[int]*chunkGroup)
+	peerOf := func(row int32) int {
+		for j := numPeers - 1; j >= 0; j-- {
+			if len(lp.recv[j]) > 0 && row >= lp.recvOffset[j] {
+				if row < lp.recvOffset[j]+int32(len(lp.recv[j])) {
+					return j
+				}
+			}
+		}
+		return -1
+	}
+	for e, sr := range lp.owned.srcRow {
+		if int(sr) < lp.numPrevRows {
+			local.srcLocal = append(local.srcLocal, sr)
+			local.dstRow = append(local.dstRow, lp.owned.dstRow[e])
+			local.edgeNorm = append(local.edgeNorm, lp.owned.edgeNorm[e])
+			continue
+		}
+		j := peerOf(sr)
+		gp := byPeer[j]
+		if gp == nil {
+			gp = &chunkGroup{peer: j}
+			byPeer[j] = gp
+		}
+		gp.srcLocal = append(gp.srcLocal, sr-lp.recvOffset[j])
+		gp.dstRow = append(gp.dstRow, lp.owned.dstRow[e])
+		gp.edgeNorm = append(gp.edgeNorm, lp.owned.edgeNorm[e])
+	}
+	groups := []chunkGroup{local}
+	for j := 0; j < numPeers; j++ {
+		if gp := byPeer[j]; gp != nil {
+			groups = append(groups, *gp)
+		}
+	}
+	return groups
+}
+
+// cachedComputeAt returns the cached set for level k, where level L is
+// always empty (no one consumes h^(L) of a replica).
+func (p *workerPlan) cachedComputeAt(k int) []int32 {
+	if k >= len(p.cachedCompute) {
+		return nil
+	}
+	return p.cachedCompute[k]
+}
+
+// buildBlock assembles the edge arrays for one destination block.
+func buildBlock(g *graph.Graph, dsts []int32, resolve func(int32) (int32, error),
+	prevIndex map[int32]int32, selfNormAll []float32) (blockPlan, error) {
+
+	b := blockPlan{dsts: dsts, offsets: make([]int32, len(dsts)+1)}
+	b.selfRow = make([]int32, len(dsts))
+	b.selfNorm = make([]float32, len(dsts))
+	for r, v := range dsts {
+		sr, ok := prevIndex[v]
+		if !ok {
+			return b, fmt.Errorf("engine: destination %d has no previous-layer row", v)
+		}
+		b.selfRow[r] = sr
+		b.selfNorm[r] = selfNormAll[v]
+		dNorm := gcnInvSqrt(g.InDegree(v))
+		for _, u := range g.InNeighbors(v) {
+			row, err := resolve(u)
+			if err != nil {
+				return b, err
+			}
+			b.srcRow = append(b.srcRow, row)
+			b.dstRow = append(b.dstRow, int32(r))
+			b.edgeNorm = append(b.edgeNorm, dNorm*gcnInvSqrt(g.InDegree(u)))
+		}
+		b.offsets[r+1] = int32(len(b.srcRow))
+	}
+	return b, nil
+}
+
+// gcnInvSqrt returns 1/sqrt(d+1) as float32, matching
+// graph.GCNNormCoefficients' per-edge formula.
+func gcnInvSqrt(d int) float32 {
+	return float32(1 / math.Sqrt(float64(d+1)))
+}
+
+func sortedFromSet(m map[int32]struct{}) []int32 {
+	out := make([]int32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"neutronstar/internal/autograd"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/nn"
+	"neutronstar/internal/tensor"
+)
+
+// ReferenceForward runs a single-machine, full-graph inference pass through
+// model: the ground truth all distributed engines must match. Dropout is
+// disabled (inference mode). It returns the final-layer logits for every
+// vertex.
+func ReferenceForward(g *graph.Graph, model *nn.Model, features *tensor.Tensor) *tensor.Tensor {
+	h := features
+	for _, layer := range model.Layers {
+		h = referenceLayer(g, layer, h, false, nil)
+	}
+	return h
+}
+
+// ReferenceTrainStep runs one full-graph training step on a single machine
+// and returns the mean loss over the labeled set. Engines' distributed
+// gradients are validated against the parameter gradients this produces.
+// Dropout is disabled so the comparison is deterministic.
+func ReferenceTrainStep(g *graph.Graph, model *nn.Model, features *tensor.Tensor,
+	labels []int32, trainMask []bool) float64 {
+
+	type run struct {
+		tape *autograd.Tape
+		in   *autograd.Variable
+		out  *autograd.Variable
+	}
+	var runs []run
+	h := features
+	for li, layer := range model.Layers {
+		tape := autograd.NewTape()
+		in := tape.Leaf(h, li > 0, "h")
+		out := forwardOnTape(g, layer, tape, in, false, nil)
+		runs = append(runs, run{tape: tape, in: in, out: out})
+		h = out.Value
+	}
+	last := runs[len(runs)-1]
+	loss, _ := last.tape.NLLLossMasked(last.tape.LogSoftmax(last.out), labels, trainMask)
+	last.tape.Backward(loss, nil)
+	for l := len(runs) - 2; l >= 0; l-- {
+		seed := runs[l+1].in.Grad
+		if seed == nil {
+			seed = tensor.New(runs[l].out.Value.Rows(), runs[l].out.Value.Cols())
+		}
+		runs[l].tape.Backward(runs[l].out, seed)
+	}
+	for _, p := range model.Params() {
+		p.CollectGrad()
+	}
+	return float64(loss.Value.At(0, 0))
+}
+
+// referenceLayer evaluates one layer over the whole graph without autograd
+// bookkeeping beyond a throwaway tape.
+func referenceLayer(g *graph.Graph, layer nn.Layer, h *tensor.Tensor, training bool, rng *tensor.RNG) *tensor.Tensor {
+	tape := autograd.NewTape()
+	in := tape.Constant(h, "h")
+	out := forwardOnTape(g, layer, tape, in, training, rng)
+	// Detach parameters bound during inference so a later training pass does
+	// not try to collect stale gradients.
+	for _, p := range layer.Params() {
+		p.CollectGrad()
+	}
+	return out.Value
+}
+
+// forwardOnTape builds the full-graph ForwardCtx for layer and runs it.
+func forwardOnTape(g *graph.Graph, layer nn.Layer, tape *autograd.Tape,
+	in *autograd.Variable, training bool, rng *tensor.RNG) *autograd.Variable {
+
+	if rng == nil {
+		rng = tensor.NewRNG(0)
+	}
+	rows := in
+	if pt, ok := layer.(nn.PreTransformer); ok {
+		rows = pt.PreTransform(tape, in, training, rng)
+	}
+	n := g.NumVertices()
+	srcIdx := make([]int32, 0, g.NumEdges())
+	dstIdx := make([]int32, 0, g.NumEdges())
+	offsets := make([]int32, n+1)
+	selfIdx := make([]int32, n)
+	for v := 0; v < n; v++ {
+		selfIdx[v] = int32(v)
+		for _, u := range g.InNeighbors(int32(v)) {
+			srcIdx = append(srcIdx, u)
+			dstIdx = append(dstIdx, int32(v))
+		}
+		offsets[v+1] = int32(len(srcIdx))
+	}
+	edgeNorm, selfNorm := graph.GCNNormCoefficients(g)
+	ctx := &nn.ForwardCtx{
+		Tape:     tape,
+		EdgeSrc:  tape.Gather(rows, srcIdx),
+		Self:     rows,
+		Offsets:  offsets,
+		EdgeDst:  dstIdx,
+		EdgeNorm: edgeNorm,
+		SelfNorm: selfNorm,
+		Training: training,
+		RNG:      rng,
+	}
+	return layer.Forward(ctx)
+}

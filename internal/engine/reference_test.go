@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"neutronstar/internal/nn"
+	"neutronstar/internal/tensor"
+)
+
+func TestReferenceForwardShapes(t *testing.T) {
+	ds := testDataset(t, 90, 4, 60)
+	for _, kind := range []nn.ModelKind{nn.GCN, nn.GIN, nn.GAT, nn.SAGE} {
+		model := nn.MustNewModel(kind, []int{ds.Spec.FeatureDim, 8, ds.Spec.NumClasses}, 0, 1)
+		logits := ReferenceForward(ds.Graph, model, ds.Features)
+		if logits.Rows() != ds.NumVertices() || logits.Cols() != ds.Spec.NumClasses {
+			t.Fatalf("%s: logits %dx%d", kind, logits.Rows(), logits.Cols())
+		}
+		for _, v := range logits.Data() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite logit", kind)
+			}
+		}
+	}
+}
+
+func TestReferenceForwardDeterministic(t *testing.T) {
+	ds := testDataset(t, 80, 4, 61)
+	model := nn.MustNewModel(nn.GCN, []int{ds.Spec.FeatureDim, 8, ds.Spec.NumClasses}, 0, 2)
+	a := ReferenceForward(ds.Graph, model, ds.Features)
+	b := ReferenceForward(ds.Graph, model, ds.Features)
+	if !a.Equal(b) {
+		t.Fatal("inference not deterministic")
+	}
+}
+
+func TestReferenceTrainStepReducesLoss(t *testing.T) {
+	ds := testDataset(t, 120, 4, 62)
+	model := nn.MustNewModel(nn.GCN, []int{ds.Spec.FeatureDim, 8, ds.Spec.NumClasses}, 0, 3)
+	opt := nn.NewAdam(0.02)
+	first := ReferenceTrainStep(ds.Graph, model, ds.Features, ds.Labels, ds.TrainMask)
+	opt.Step(model.Params())
+	nn.ZeroGrads(model.Params())
+	var last float64
+	for i := 0; i < 10; i++ {
+		last = ReferenceTrainStep(ds.Graph, model, ds.Features, ds.Labels, ds.TrainMask)
+		opt.Step(model.Params())
+		nn.ZeroGrads(model.Params())
+	}
+	if last >= first {
+		t.Fatalf("loss %v -> %v", first, last)
+	}
+}
+
+func TestInferenceDoesNotMutateParams(t *testing.T) {
+	ds := testDataset(t, 60, 3, 63)
+	model := nn.MustNewModel(nn.GAT, []int{ds.Spec.FeatureDim, 8, ds.Spec.NumClasses}, 0, 4)
+	before := make([]*tensor.Tensor, 0)
+	for _, p := range model.Params() {
+		before = append(before, p.Value.Clone())
+	}
+	ReferenceForward(ds.Graph, model, ds.Features)
+	for i, p := range model.Params() {
+		if !p.Value.Equal(before[i]) {
+			t.Fatalf("param %d mutated by inference", i)
+		}
+		if tensor.Norm(p.Grad) != 0 {
+			t.Fatalf("param %d accumulated gradient during inference", i)
+		}
+	}
+}
+
+func TestEngineTrainAfterEvaluateInterleaved(t *testing.T) {
+	// Alternating Train and Evaluate must not corrupt message routing or
+	// replica sync (Evaluate runs distributed forward passes with their own
+	// tag space).
+	ds := testDataset(t, 100, 4, 64)
+	e, err := NewEngine(ds, Options{Workers: 3, Mode: Hybrid, Model: nn.GCN, Seed: 9, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var prev float64 = math.Inf(1)
+	for i := 0; i < 4; i++ {
+		st := e.RunEpoch()
+		_ = e.Evaluate(ds.ValMask)
+		if st.Loss <= 0 {
+			t.Fatal("bad loss")
+		}
+		prev = st.Loss
+	}
+	_ = prev
+	if !e.ReplicasInSync() {
+		t.Fatal("interleaved evaluate broke replica sync")
+	}
+}

@@ -1,0 +1,550 @@
+package engine
+
+import (
+	"neutronstar/internal/autograd"
+	"neutronstar/internal/comm"
+	"neutronstar/internal/metrics"
+	"neutronstar/internal/nn"
+	"neutronstar/internal/tensor"
+)
+
+// workerState is one simulated cluster node: a model replica, the worker's
+// slice of features and labels laid out in plan order, and its mailbox.
+type workerState struct {
+	id    int
+	eng   *Engine
+	plan  *workerPlan
+	model *nn.Model
+	opt   nn.Optimizer
+	mb    *comm.Mailbox
+	rng   *tensor.RNG
+
+	// feat is the layer-1 input in prev-layout: owned features followed by
+	// cached (replicated) features — the one-time fetch of Algorithm 2
+	// line 5 happens here at construction.
+	feat *tensor.Tensor
+	// labels / trainMask are aligned with the owned rows.
+	labels    []int32
+	trainMask []bool
+	// totalLabeled is Σ_i |V_L ∩ V_i| — the global normaliser that makes the
+	// distributed loss equal the single-machine mean loss.
+	totalLabeled int
+}
+
+// layerRun keeps the tape state of one layer's forward pass for the
+// backward sweep.
+type layerRun struct {
+	tape  *autograd.Tape
+	hPrev *autograd.Variable // leaf: previous layer's output (prev-layout)
+	hRecv *autograd.Variable // leaf: received mirror rows (nil if none)
+	out   *autograd.Variable // this layer's output (owned ++ cached layout)
+	// chunkLeaves holds per-peer received leaves when the layer ran through
+	// the chunk-pipelined path (hRecv is nil then).
+	chunkLeaves []chunkLeaf
+}
+
+// chunkLeaf is one peer's received chunk as a tape leaf.
+type chunkLeaf struct {
+	peer int
+	v    *autograd.Variable
+}
+
+func newWorkerState(id int, e *Engine, model *nn.Model) *workerState {
+	plan := e.plans[id]
+	ds := e.ds
+	ws := &workerState{
+		id: id, eng: e, plan: plan, model: model,
+		opt: nn.NewAdam(e.opts.LR),
+		mb:  e.fabric.Mailbox(id),
+		rng: tensor.NewRNG(e.opts.Seed ^ (uint64(id)+1)*0x9E3779B9),
+	}
+	// Assemble the layer-1 input block: owned features ++ cached features.
+	dim := ds.Spec.FeatureDim
+	cached0 := plan.cachedComputeAt(0)
+	ws.feat = tensor.New(len(plan.owned)+len(cached0), dim)
+	for r, v := range plan.owned {
+		copy(ws.feat.Row(r), ds.Features.Row(int(v)))
+	}
+	for r, v := range cached0 {
+		copy(ws.feat.Row(len(plan.owned)+r), ds.Features.Row(int(v)))
+	}
+	ws.labels = make([]int32, len(plan.owned))
+	ws.trainMask = make([]bool, len(plan.owned))
+	for r, v := range plan.owned {
+		ws.labels[r] = ds.Labels[v]
+		ws.trainMask[r] = ds.TrainMask[v]
+	}
+	ws.totalLabeled = ds.TrainLabeledCount()
+	return ws
+}
+
+// peerOrder returns the peer iteration order for this worker under the
+// configured schedule.
+func (ws *workerState) peerOrder() []int {
+	if ws.eng.opts.Ring {
+		return comm.RingOrder(ws.id, ws.eng.opts.Workers)
+	}
+	return comm.NaiveOrder(ws.id, ws.eng.opts.Workers)
+}
+
+// runEpoch performs one full forward/backward/update cycle and returns the
+// local loss sum and labeled-vertex count.
+func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
+	L := len(ws.plan.layers)
+	runs := make([]layerRun, L)
+	coll := ws.eng.opts.Collector
+
+	// ---- Forward: synchronize-compute per layer ----
+	prevVal := ws.feat
+	for l := 1; l <= L; l++ {
+		runs[l-1] = ws.forwardLayer(epoch, l, prevVal, coll, true)
+		prevVal = runs[l-1].out.Value
+	}
+
+	// ---- Loss on owned rows of the final layer ----
+	last := &runs[L-1]
+	stopC := coll.Track(ws.id, metrics.Compute)
+	tape := last.tape
+	ownedRows := len(ws.plan.owned)
+	logits := last.out
+	if logits.Value.Rows() != ownedRows {
+		// Final layer has no cached block by construction; guard regardless.
+		logits = tape.SliceRows(logits, 0, ownedRows)
+	}
+	loss, n := tape.NLLLossMasked(tape.LogSoftmax(logits), ws.labels, ws.trainMask)
+	count = n
+	lossSum = float64(loss.Value.At(0, 0)) * float64(n)
+
+	// Seed so that the aggregated gradient equals the gradient of the
+	// global mean loss: d(global mean)/d(local mean) = n / totalLabeled.
+	seed := tensor.New(1, 1)
+	if ws.totalLabeled > 0 {
+		seed.Set(0, 0, float32(n)/float32(ws.totalLabeled))
+	}
+	tape.Backward(loss, seed)
+	stopC()
+
+	// ---- Backward: compute-synchronize per layer ----
+	for l := L; l >= 1; l-- {
+		ws.backwardLayer(epoch, l, runs)
+	}
+
+	// ---- Parameter update: collect, synchronise, step ----
+	stopC = coll.Track(ws.id, metrics.Compute)
+	params := ws.model.Params()
+	for _, p := range params {
+		p.CollectGrad()
+	}
+	stopC()
+	if sched := ws.eng.opts.Scheduler; sched != nil {
+		nn.SetLR(ws.opt, sched.LR(epoch))
+	}
+	if ws.eng.opts.ParamServer {
+		// Clipping happens on the server after summation; workers receive
+		// the already-stepped parameters.
+		ws.paramServerUpdate(epoch, params)
+	} else {
+		ws.allReduceGrads(epoch, params)
+		if ws.eng.opts.ClipNorm > 0 {
+			nn.ClipGradNorm(params, ws.eng.opts.ClipNorm)
+		}
+		ws.opt.Step(params)
+	}
+	nn.ZeroGrads(params)
+	return lossSum, count
+}
+
+// forwardLayer executes one layer: send master rows, redundantly compute the
+// cached block, receive mirror rows, compute the owned block.
+func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *metrics.Collector, training bool) layerRun {
+	lp := &ws.plan.layers[l-1]
+	layer := ws.model.Layers[l-1]
+	tape := autograd.NewTape()
+
+	sendDone := make(chan struct{})
+	send := func() {
+		defer close(sendDone)
+		ws.sendReps(epoch, l, prevVal)
+	}
+	if ws.eng.opts.Overlap {
+		go send()
+	} else {
+		send()
+	}
+
+	// Chunk-pipelined path (§4.3, Fig. 8): for sum-decomposable layers each
+	// received chunk's edge stage runs as the chunk arrives, so compute on
+	// chunk k overlaps delivery of chunk k+1.
+	if sd, ok := layer.(nn.SumDecomposable); ok && ws.eng.opts.Overlap && !ws.eng.opts.Broadcast {
+		run := ws.forwardLayerChunked(epoch, l, prevVal, coll, training, sd, tape)
+		<-sendDone
+		return run
+	}
+
+	requireFeatGrad := training && l > 1 // layer 1's input is the static feature block
+	hPrev := tape.Leaf(prevVal, requireFeatGrad, "h_prev")
+
+	// Vertex-level pre-transform (e.g. GAT's z = W·h) applies to every row
+	// universe exactly once.
+	zPrev := hPrev
+	pt, hasPT := layer.(nn.PreTransformer)
+	if hasPT {
+		stop := coll.Track(ws.id, metrics.Compute)
+		zPrev = pt.PreTransform(tape, hPrev, training, ws.rng)
+		stop()
+	}
+
+	// Cached (DepCache) block: all sources are local, so it runs while the
+	// mirror exchange is in flight — the overlap of Fig. 8.
+	var outCached *autograd.Variable
+	if lp.cached.numDst() > 0 {
+		stop := coll.Track(ws.id, metrics.Compute)
+		outCached = ws.runBlock(tape, layer, &lp.cached, zPrev, zPrev, training)
+		stop()
+	}
+
+	// Receive mirror chunks; assemble the received row block.
+	var hRecv *autograd.Variable
+	zAll := zPrev
+	numRecv := lp.numHAllRows - lp.numPrevRows
+	if numRecv > 0 {
+		stop := coll.Track(ws.id, metrics.Comm)
+		recvVal := tensor.New(numRecv, layer.InDim())
+		for _, j := range ws.peerOrder() {
+			verts := lp.recv[j]
+			if len(verts) == 0 {
+				continue
+			}
+			base := int(lp.recvOffset[j]) - lp.numPrevRows
+			if ws.eng.opts.Broadcast {
+				msg := ws.mb.Wait(comm.KindBlock, epoch, l, 0, j)
+				for r, v := range verts {
+					idx := searchVertex(msg.Vertices, v)
+					copy(recvVal.Row(base+r), msg.Rows.Row(idx))
+				}
+				continue
+			}
+			msg := ws.mb.Wait(comm.KindRep, epoch, l, 0, j)
+			for r := range verts {
+				copy(recvVal.Row(base+r), msg.Rows.Row(r))
+			}
+		}
+		stop()
+		hRecv = tape.Leaf(recvVal, true, "h_recv")
+		zRecv := hRecv
+		if hasPT {
+			stopC := coll.Track(ws.id, metrics.Compute)
+			zRecv = pt.PreTransform(tape, hRecv, training, ws.rng)
+			stopC()
+		}
+		zAll = tape.ConcatRows(zPrev, zRecv)
+	}
+
+	// Owned block: sources may live anywhere in zAll.
+	stop := coll.Track(ws.id, metrics.Compute)
+	outOwned := ws.runBlock(tape, layer, &lp.owned, zAll, zPrev, training)
+	out := outOwned
+	if outCached != nil {
+		out = tape.ConcatRows(outOwned, outCached)
+	}
+	stop()
+
+	<-sendDone
+	return layerRun{tape: tape, hPrev: hPrev, hRecv: hRecv, out: out}
+}
+
+// runForward executes a forward-only (inference) pass and returns the owned
+// vertices' final-layer outputs. Parameters bound on the throwaway tapes are
+// released immediately. epoch must be unique per collective (the engine uses
+// a dedicated counter range so inference messages never alias training ones).
+func (ws *workerState) runForward(epoch int) *tensor.Tensor {
+	L := len(ws.plan.layers)
+	prevVal := ws.feat
+	for l := 1; l <= L; l++ {
+		run := ws.forwardLayer(epoch, l, prevVal, ws.eng.opts.Collector, false)
+		prevVal = run.out.Value
+	}
+	for _, p := range ws.model.Params() {
+		p.CollectGrad()
+	}
+	return prevVal.RowSlice(0, len(ws.plan.owned))
+}
+
+// forwardLayerChunked is the incremental-aggregation forward: the owned
+// block's edges are processed per source region (local first, then each
+// peer's chunk in arrival schedule order), partial aggregations are summed,
+// and the vertex stage runs once at the end.
+func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
+	coll *metrics.Collector, training bool, sd nn.SumDecomposable, tape *autograd.Tape) layerRun {
+
+	lp := &ws.plan.layers[l-1]
+	layer := ws.model.Layers[l-1]
+	hPrev := tape.Leaf(prevVal, training && l > 1, "h_prev")
+
+	// Cached (DepCache) block first: pure local work that hides behind the
+	// in-flight mirror exchange.
+	var outCached *autograd.Variable
+	if lp.cached.numDst() > 0 {
+		stop := coll.Track(ws.id, metrics.Compute)
+		outCached = ws.runBlock(tape, layer, &lp.cached, hPrev, hPrev, training)
+		stop()
+	}
+
+	numDst := lp.owned.numDst()
+	var partials []*autograd.Variable
+	groupFor := make(map[int]*chunkGroup, len(lp.ownedGroups))
+	for gi := range lp.ownedGroups {
+		g := &lp.ownedGroups[gi]
+		if g.peer < 0 {
+			// Local region: aggregate immediately.
+			if len(g.srcLocal) > 0 {
+				stop := coll.Track(ws.id, metrics.Compute)
+				partials = append(partials,
+					sd.EdgeStage(tape, tape.Gather(hPrev, g.srcLocal), g.edgeNorm, g.dstRow, numDst))
+				stop()
+			}
+			continue
+		}
+		groupFor[g.peer] = g
+	}
+
+	var leaves []chunkLeaf
+	for _, j := range ws.peerOrder() {
+		g := groupFor[j]
+		verts := lp.recv[j]
+		if len(verts) == 0 {
+			continue
+		}
+		stop := coll.Track(ws.id, metrics.Comm)
+		msg := ws.mb.Wait(comm.KindRep, epoch, l, 0, j)
+		stop()
+		leaf := tape.Leaf(msg.Rows, true, "h_chunk")
+		leaves = append(leaves, chunkLeaf{peer: j, v: leaf})
+		if g == nil {
+			continue // received for availability but no owned edge uses it
+		}
+		stopC := coll.Track(ws.id, metrics.Compute)
+		partials = append(partials,
+			sd.EdgeStage(tape, tape.Gather(leaf, g.srcLocal), g.edgeNorm, g.dstRow, numDst))
+		stopC()
+	}
+
+	stop := coll.Track(ws.id, metrics.Compute)
+	var agg *autograd.Variable
+	for _, p := range partials {
+		if agg == nil {
+			agg = p
+		} else {
+			agg = tape.Add(agg, p)
+		}
+	}
+	if agg == nil {
+		agg = tape.Constant(tensor.New(numDst, layer.InDim()), "agg_zero")
+	}
+	self := tape.Gather(hPrev, lp.owned.selfRow)
+	outOwned := sd.VertexStage(tape, agg, self, lp.owned.selfNorm, training, ws.rng)
+	out := outOwned
+	if outCached != nil {
+		out = tape.ConcatRows(outOwned, outCached)
+	}
+	stop()
+	return layerRun{tape: tape, hPrev: hPrev, out: out, chunkLeaves: leaves}
+}
+
+// runBlock executes one destination block through the layer's Forward.
+// srcUniverse provides edge-source rows; selfUniverse provides the
+// destinations' own rows (always within the prev-layout part).
+func (ws *workerState) runBlock(tape *autograd.Tape, layer nn.Layer, b *blockPlan,
+	srcUniverse, selfUniverse *autograd.Variable, training bool) *autograd.Variable {
+	ctx := &nn.ForwardCtx{
+		Tape:     tape,
+		EdgeSrc:  tape.Gather(srcUniverse, b.srcRow),
+		Self:     tape.Gather(selfUniverse, b.selfRow),
+		Offsets:  b.offsets,
+		EdgeDst:  b.dstRow,
+		EdgeNorm: b.edgeNorm,
+		SelfNorm: b.selfNorm,
+		Training: training,
+		RNG:      ws.rng,
+	}
+	return layer.Forward(ctx)
+}
+
+// sendReps packs and sends this worker's master rows needed by each peer at
+// layer l. prevVal rows 0..len(owned) are the owned vertices in ascending
+// order, so row lookup is the position in the owned list.
+func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor) {
+	lp := &ws.plan.layers[l-1]
+	coll := ws.eng.opts.Collector
+	ownedPos := ws.plan.prevIndex[l-1] // owned rows come first in every layout
+	for _, j := range ws.peerOrder() {
+		verts := lp.send[j]
+		if len(verts) == 0 {
+			continue
+		}
+		stop := coll.Track(ws.id, metrics.Comm)
+		if ws.eng.opts.Broadcast {
+			// ROC-style: ship the whole owned block; the receiver picks the
+			// rows it needs.
+			ws.eng.fabric.Send(&comm.Message{
+				From: ws.id, To: j, Kind: comm.KindBlock,
+				Epoch: epoch, Layer: l,
+				Vertices: ws.plan.owned,
+				Rows:     prevVal.RowSlice(0, len(ws.plan.owned)),
+			})
+			stop()
+			continue
+		}
+		buf := comm.NewEnqueuer(ws.eng.opts.LockFree, verts, prevVal.Cols())
+		tensor.ParallelRows(len(verts), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				v := verts[k]
+				buf.WriteRow(v, prevVal.Row(int(ownedPos[v])))
+			}
+		})
+		rows, ids := buf.Finish()
+		ws.eng.fabric.Send(&comm.Message{
+			From: ws.id, To: j, Kind: comm.KindRep,
+			Epoch: epoch, Layer: l, Vertices: ids, Rows: rows,
+		})
+		stop()
+	}
+}
+
+// searchVertex returns the index of v in the ascending list, or -1.
+func searchVertex(list []int32, v int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// backwardLayer runs layer l's tape backward (seeded by the upper layer's
+// input gradient plus remote mirror gradients), then posts mirror gradients
+// back to their masters (PostToDepNbr).
+func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
+	lp := &ws.plan.layers[l-1]
+	run := &runs[l-1]
+	coll := ws.eng.opts.Collector
+
+	// Seed: for the top layer the loss already back-propagated on the same
+	// tape, so out.Grad is populated; for lower layers assemble the seed
+	// from the upper layer's hPrev gradient and received mirror gradients.
+	if l < len(runs) {
+		upper := &runs[l]
+		seed := upper.hPrev.Grad
+		if seed == nil {
+			seed = tensor.New(run.out.Value.Rows(), run.out.Value.Cols())
+		}
+		// Mirror gradients for my masters sent at layer l+1 arrive from
+		// every peer I sent rows to.
+		ws.receiveMirrorGrads(epoch, l+1, seed)
+		stop := coll.Track(ws.id, metrics.Compute)
+		run.tape.Backward(run.out, seed)
+		stop()
+	}
+	// Post mirror gradients of chunk-pipelined leaves (one message per peer
+	// chunk) — except layer 1, whose inputs are static features.
+	if len(run.chunkLeaves) > 0 && l > 1 {
+		stop := coll.Track(ws.id, metrics.Comm)
+		for _, cl := range run.chunkLeaves {
+			verts := lp.recv[cl.peer]
+			grad := cl.v.Grad
+			if grad == nil {
+				grad = tensor.New(cl.v.Value.Rows(), cl.v.Value.Cols())
+			}
+			ws.eng.fabric.Send(&comm.Message{
+				From: ws.id, To: cl.peer, Kind: comm.KindGrad,
+				Epoch: epoch, Layer: l, Vertices: verts, Rows: grad,
+			})
+		}
+		stop()
+	}
+	// Post mirror gradients of this layer's received rows to their masters
+	// — except layer 1, whose inputs are static features.
+	if run.hRecv != nil && l > 1 {
+		grad := run.hRecv.Grad
+		if grad == nil {
+			grad = tensor.New(run.hRecv.Value.Rows(), run.hRecv.Value.Cols())
+		}
+		stop := coll.Track(ws.id, metrics.Comm)
+		for _, j := range ws.peerOrder() {
+			verts := lp.recv[j]
+			if len(verts) == 0 {
+				continue
+			}
+			base := int(lp.recvOffset[j]) - lp.numPrevRows
+			if ws.eng.opts.Broadcast {
+				// ROC-style: a full-width gradient block aligned with the
+				// master's owned list, zero-padded.
+				ownerOwned := ws.eng.plans[j].owned
+				block := tensor.New(len(ownerOwned), grad.Cols())
+				for r, v := range verts {
+					pos := searchVertex(ownerOwned, v)
+					copy(block.Row(pos), grad.Row(base+r))
+				}
+				ws.eng.fabric.Send(&comm.Message{
+					From: ws.id, To: j, Kind: comm.KindGrad,
+					Epoch: epoch, Layer: l, Vertices: ownerOwned, Rows: block,
+				})
+				continue
+			}
+			rows := grad.RowSlice(base, base+len(verts)).Clone()
+			ws.eng.fabric.Send(&comm.Message{
+				From: ws.id, To: j, Kind: comm.KindGrad,
+				Epoch: epoch, Layer: l, Vertices: verts, Rows: rows,
+			})
+		}
+		stop()
+	}
+}
+
+// receiveMirrorGrads waits for the gradient chunks of the masters this
+// worker sent at layer l and accumulates them into seed's owned rows.
+// Layer-1 sends carry features and produce no gradients.
+func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor) {
+	if l <= 1 {
+		return
+	}
+	lp := &ws.plan.layers[l-1]
+	coll := ws.eng.opts.Collector
+	ownedPos := ws.plan.prevIndex[l-1]
+	for _, j := range ws.peerOrder() {
+		verts := lp.send[j]
+		if len(verts) == 0 {
+			continue
+		}
+		stop := coll.Track(ws.id, metrics.Comm)
+		msg := ws.mb.Wait(comm.KindGrad, epoch, l, 0, j)
+		if ws.eng.opts.Broadcast {
+			// Full-width block aligned with my owned rows (which are the
+			// first rows of every layout).
+			for r := range msg.Vertices {
+				dst := seed.Row(r)
+				src := msg.Rows.Row(r)
+				for c, g := range src {
+					dst[c] += g
+				}
+			}
+			stop()
+			continue
+		}
+		for r, v := range verts {
+			dst := seed.Row(int(ownedPos[v]))
+			src := msg.Rows.Row(r)
+			for c, g := range src {
+				dst[c] += g
+			}
+		}
+		stop()
+	}
+}

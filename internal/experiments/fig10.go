@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"time"
+
+	"neutronstar/internal/baseline/distdgl"
+	"neutronstar/internal/baseline/roc"
+	"neutronstar/internal/comm"
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/engine"
+	"neutronstar/internal/nn"
+)
+
+// Fig10 reproduces the overall comparison of Figure 10: per model (GCN, GIN,
+// GAT) and per graph, the per-epoch time of the DistDGL-like baseline, the
+// ROC-like baseline, DepCache, optimised DepComm, and optimised Hybrid
+// (NeutronStar). As in the paper, ROC has no GAT (no edge NN computation)
+// and its column is reported as 0 there; DistDGL's distributed GIN is also
+// absent in the paper but our sampler runs it, so its number is included.
+func Fig10(sc Scale) []Row {
+	var rows []Row
+	for _, kind := range []nn.ModelKind{nn.GCN, nn.GIN, nn.GAT} {
+		for _, name := range sc.Graphs {
+			ds := load(name)
+			row := newRow(string(kind)+"/"+name,
+				"distdgl_ms", distDGLEpochMillis(ds, kind, sc),
+				"roc_ms", rocEpochMillis(ds, kind, sc),
+				"depcache_ms", epochMillis(ds, stdOpts(engine.DepCache, kind, sc.Workers, comm.ProfileECS), sc.Epochs),
+				"depcomm_ms", epochMillis(ds, withRLP(stdOpts(engine.DepComm, kind, sc.Workers, comm.ProfileECS), true, true, true), sc.Epochs),
+				"hybrid_ms", epochMillis(ds, withRLP(stdOpts(engine.Hybrid, kind, sc.Workers, comm.ProfileECS), true, true, true), sc.Epochs),
+			)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// distDGLEpochMillis times the sampling baseline's epoch.
+func distDGLEpochMillis(ds *dataset.Dataset, kind nn.ModelKind, sc Scale) float64 {
+	tr, err := distdgl.New(ds, distdgl.Options{
+		Workers: sc.Workers, Model: kind, Seed: 20220612, Profile: comm.ProfileECS,
+	})
+	if err != nil {
+		return 0
+	}
+	defer tr.Close()
+	tr.RunEpoch()
+	start := time.Now()
+	for i := 0; i < sc.Epochs; i++ {
+		tr.RunEpoch()
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(sc.Epochs)
+}
+
+// rocEpochMillis times the ROC-like baseline's epoch (0 when unsupported).
+func rocEpochMillis(ds *dataset.Dataset, kind nn.ModelKind, sc Scale) float64 {
+	e, err := roc.New(ds, roc.Options{
+		Workers: sc.Workers, Model: kind, Seed: 20220612, Profile: comm.ProfileECS,
+	})
+	if err != nil {
+		return 0 // GAT: unsupported by ROC, as in the paper
+	}
+	defer e.Close()
+	e.RunEpoch()
+	start := time.Now()
+	for i := 0; i < sc.Epochs; i++ {
+		e.RunEpoch()
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(sc.Epochs)
+}
+
+// nowMillis returns a monotonic-ish milliseconds reading for interval math.
+func nowMillis() float64 {
+	return float64(time.Now().UnixNano()) / 1e6
+}

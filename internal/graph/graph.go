@@ -1,0 +1,183 @@
+// Package graph provides the static graph storage used throughout
+// NeutronStar-Go: COO ingestion, CSC (in-edges grouped by destination, used
+// by forward propagation) and CSR (out-edges grouped by source, used by
+// backward propagation) builds, k-hop dependency closures, and degree
+// statistics. Vertex ids are dense int32 in [0, NumVertices).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge u -> v: v aggregates from u ("u is an in-neighbor
+// of v"), matching the paper's vertex-dependency definition.
+type Edge struct {
+	Src, Dst int32
+}
+
+// Graph is an immutable directed graph in dual CSC/CSR form.
+// CSC answers "who are v's in-neighbors" (forward pass);
+// CSR answers "who are u's out-neighbors" (backward pass).
+type Graph struct {
+	numVertices int32
+	numEdges    int64
+
+	// CSC: in-edges of vertex v are InSrc[InOff[v]:InOff[v+1]].
+	inOff []int64
+	inSrc []int32
+
+	// CSR: out-edges of vertex u are OutDst[OutOff[u]:OutOff[u+1]].
+	outOff []int64
+	outDst []int32
+
+	// cscToCSR maps the i-th CSC edge to its position in CSR order, so
+	// per-edge data laid out in one order can be permuted to the other.
+	cscToCSR []int64
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return int(g.numVertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return int(g.numEdges) }
+
+// InNeighbors returns the sources of v's in-edges (shared storage; do not
+// mutate).
+func (g *Graph) InNeighbors(v int32) []int32 {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutNeighbors returns the destinations of u's out-edges (shared storage).
+func (g *Graph) OutNeighbors(u int32) []int32 {
+	return g.outDst[g.outOff[u]:g.outOff[u+1]]
+}
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v int32) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u int32) int { return int(g.outOff[u+1] - g.outOff[u]) }
+
+// InOffsets exposes the CSC offset array (len NumVertices+1).
+func (g *Graph) InOffsets() []int64 { return g.inOff }
+
+// InSources exposes the CSC source array: entry e is the source of the e-th
+// in-edge in destination-sorted order.
+func (g *Graph) InSources() []int32 { return g.inSrc }
+
+// OutOffsets exposes the CSR offset array (len NumVertices+1).
+func (g *Graph) OutOffsets() []int64 { return g.outOff }
+
+// OutDestinations exposes the CSR destination array.
+func (g *Graph) OutDestinations() []int32 { return g.outDst }
+
+// CSCToCSR maps CSC edge position i to the corresponding CSR position.
+func (g *Graph) CSCToCSR() []int64 { return g.cscToCSR }
+
+// EdgeDst returns, for every CSC edge position, its destination vertex.
+// The result is freshly allocated.
+func (g *Graph) EdgeDst() []int32 {
+	dst := make([]int32, g.numEdges)
+	for v := int32(0); v < g.numVertices; v++ {
+		for e := g.inOff[v]; e < g.inOff[v+1]; e++ {
+			dst[e] = v
+		}
+	}
+	return dst
+}
+
+// FromEdges builds a graph with numVertices vertices from a directed edge
+// list. Duplicate edges are kept (multi-edges are legal); self-loops are
+// legal. It returns an error for out-of-range endpoints.
+func FromEdges(numVertices int, edges []Edge) (*Graph, error) {
+	n := int32(numVertices)
+	for i, e := range edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+	g := &Graph{numVertices: n, numEdges: int64(len(edges))}
+
+	// CSC build: counting sort by destination.
+	g.inOff = make([]int64, n+1)
+	for _, e := range edges {
+		g.inOff[e.Dst+1]++
+	}
+	for v := int32(0); v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inSrc = make([]int32, len(edges))
+	cursor := make([]int64, n)
+	for _, e := range edges {
+		p := g.inOff[e.Dst] + cursor[e.Dst]
+		g.inSrc[p] = e.Src
+		cursor[e.Dst]++
+	}
+	// Sort each in-neighbor list for determinism and binary search.
+	for v := int32(0); v < n; v++ {
+		seg := g.inSrc[g.inOff[v]:g.inOff[v+1]]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+
+	// CSR build + csc->csr map, derived from the (now canonical) CSC layout.
+	g.outOff = make([]int64, n+1)
+	for _, u := range g.inSrc {
+		g.outOff[u+1]++
+	}
+	for v := int32(0); v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+	g.outDst = make([]int32, len(edges))
+	g.cscToCSR = make([]int64, len(edges))
+	clear(cursor)
+	for v := int32(0); v < n; v++ {
+		for e := g.inOff[v]; e < g.inOff[v+1]; e++ {
+			u := g.inSrc[e]
+			p := g.outOff[u] + cursor[u]
+			g.outDst[p] = v
+			g.cscToCSR[e] = p
+			cursor[u]++
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and generators
+// whose inputs are constructed in-range.
+func MustFromEdges(numVertices int, edges []Edge) *Graph {
+	g, err := FromEdges(numVertices, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Edges reconstructs the edge list in CSC order (dst-major, src ascending).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for v := int32(0); v < g.numVertices; v++ {
+		for _, u := range g.InNeighbors(v) {
+			out = append(out, Edge{Src: u, Dst: v})
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether an edge u->v exists (binary search on CSC).
+func (g *Graph) HasEdge(u, v int32) bool {
+	nbrs := g.InNeighbors(v)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= u })
+	return i < len(nbrs) && nbrs[i] == u
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	edges := make([]Edge, 0, g.numEdges)
+	for v := int32(0); v < g.numVertices; v++ {
+		for _, u := range g.InNeighbors(v) {
+			edges = append(edges, Edge{Src: v, Dst: u})
+		}
+	}
+	return MustFromEdges(int(g.numVertices), edges)
+}

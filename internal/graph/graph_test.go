@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"neutronstar/internal/tensor"
+)
+
+// diamond: 0->1, 0->2, 1->3, 2->3, 3->0 (a cycle through a diamond).
+func diamond() *Graph {
+	return MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}})
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := diamond()
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.InNeighbors(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("InNeighbors(3) = %v", got)
+	}
+	if got := g.OutNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("OutNeighbors(0) = %v", got)
+	}
+	if g.InDegree(0) != 1 || g.OutDegree(3) != 1 {
+		t.Fatal("degree wrong")
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("expected error for out-of-range dst")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Fatal("expected error for negative src")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := diamond()
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 0) {
+		t.Fatal("missing existing edge")
+	}
+	if g.HasEdge(1, 0) || g.HasEdge(2, 2) {
+		t.Fatal("found non-existent edge")
+	}
+}
+
+func TestSelfLoopsAndMultiEdges(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 0}, {0, 1}, {0, 1}})
+	if g.InDegree(0) != 1 || g.InDegree(1) != 2 {
+		t.Fatal("self loop / multi edge degrees wrong")
+	}
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self loop lost")
+	}
+}
+
+func TestCSCToCSRMapping(t *testing.T) {
+	g := diamond()
+	dst := g.EdgeDst()
+	m := g.CSCToCSR()
+	for e := 0; e < g.NumEdges(); e++ {
+		u := g.InSources()[e]
+		v := dst[e]
+		p := m[e]
+		// CSR position p must lie in u's out range and point at v.
+		if p < g.OutOffsets()[u] || p >= g.OutOffsets()[u+1] {
+			t.Fatalf("edge %d mapped outside source %d's CSR range", e, u)
+		}
+		if g.OutDestinations()[p] != v {
+			t.Fatalf("edge %d (%d->%d) CSR slot holds %d", e, u, v, g.OutDestinations()[p])
+		}
+	}
+	// The mapping must be a bijection.
+	seen := make([]bool, g.NumEdges())
+	for _, p := range m {
+		if seen[p] {
+			t.Fatal("cscToCSR not injective")
+		}
+		seen[p] = true
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{0, 1}, {2, 1}, {1, 0}, {2, 0}}
+	g := MustFromEdges(3, in)
+	out := g.Edges()
+	sortEdges(in)
+	sortEdges(out)
+	if len(in) != len(out) {
+		t.Fatalf("edge count changed: %d vs %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("edge %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func sortEdges(e []Edge) {
+	sort.Slice(e, func(i, j int) bool {
+		if e[i].Dst != e[j].Dst {
+			return e[i].Dst < e[j].Dst
+		}
+		return e[i].Src < e[j].Src
+	})
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond()
+	r := g.Reverse()
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatal("reverse changed edge count")
+	}
+	for _, e := range g.Edges() {
+		if !r.HasEdge(e.Dst, e.Src) {
+			t.Fatalf("reverse missing %d->%d", e.Dst, e.Src)
+		}
+	}
+}
+
+func TestKHopInClosure(t *testing.T) {
+	// Chain 0->1->2->3 plus 4->2.
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {4, 2}})
+	hops := g.KHopInClosure([]int32{3}, 2)
+	if len(hops) != 2 {
+		t.Fatalf("hops = %d", len(hops))
+	}
+	if len(hops[0]) != 1 || hops[0][0] != 2 {
+		t.Fatalf("hop1 = %v", hops[0])
+	}
+	if len(hops[1]) != 2 || hops[1][0] != 1 || hops[1][1] != 4 {
+		t.Fatalf("hop2 = %v", hops[1])
+	}
+}
+
+func TestInClosureUnion(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {4, 2}})
+	got := g.InClosureUnion([]int32{3}, 2)
+	want := []int32{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("closure = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closure = %v, want %v", got, want)
+		}
+	}
+	// Depth 3 pulls in 0.
+	if got := g.InClosureUnion([]int32{3}, 3); len(got) != 5 {
+		t.Fatalf("depth-3 closure = %v", got)
+	}
+}
+
+func TestDependencySubtreeSize(t *testing.T) {
+	// Tree: 1,2 -> 3; 0 -> 1; depth 2 from 3: vertices {1,2,0}, edges {1->3,2->3,0->1}.
+	g := MustFromEdges(4, []Edge{{1, 3}, {2, 3}, {0, 1}})
+	v, e := g.DependencySubtreeSize(3, 2, nil)
+	if v != 3 || e != 3 {
+		t.Fatalf("subtree = %d vertices %d edges", v, e)
+	}
+	// Excluding vertex 1 removes it from the charge and stops expansion to 0.
+	v, e = g.DependencySubtreeSize(3, 2, func(x int32) bool { return x == 1 })
+	if v != 1 || e != 2 {
+		t.Fatalf("excluded subtree = %d vertices %d edges", v, e)
+	}
+	if v, e := g.DependencySubtreeSize(3, 0, nil); v != 0 || e != 0 {
+		t.Fatal("depth 0 should be empty")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := diamond()
+	sub, globals, toLocal := g.InducedSubgraph([]int32{0, 1, 3})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub V = %d", sub.NumVertices())
+	}
+	// Kept edges: 0->1 and 1->3 and 3->0 (2 dropped since 2 excluded... edge 0->2, 2->3 dropped).
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub E = %d", sub.NumEdges())
+	}
+	if globals[toLocal[3]] != 3 {
+		t.Fatal("mapping broken")
+	}
+	if !sub.HasEdge(toLocal[0], toLocal[1]) || !sub.HasEdge(toLocal[3], toLocal[0]) {
+		t.Fatal("subgraph lost an edge")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {2, 1}, {3, 1}})
+	s := ComputeStats(g)
+	if s.NumVertices != 4 || s.NumEdges != 3 {
+		t.Fatal("counts wrong")
+	}
+	if s.MaxInDegree != 3 {
+		t.Fatalf("max degree = %d", s.MaxInDegree)
+	}
+	if math.Abs(s.AvgInDegree-0.75) > 1e-9 {
+		t.Fatalf("avg = %v", s.AvgInDegree)
+	}
+	if s.Isolated != 0 {
+		t.Fatalf("isolated = %d (vertex 0,2,3 have out-edges)", s.Isolated)
+	}
+	g2 := MustFromEdges(3, []Edge{{0, 1}})
+	if ComputeStats(g2).Isolated != 1 {
+		t.Fatal("vertex 2 should be isolated")
+	}
+}
+
+func TestStatsEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	s := ComputeStats(g)
+	if s.NumVertices != 0 || s.NumEdges != 0 {
+		t.Fatal("empty graph stats wrong")
+	}
+	_ = s.String()
+}
+
+func TestGCNNormCoefficients(t *testing.T) {
+	// 0->2, 1->2: din(2)=2, din(0)=din(1)=0.
+	g := MustFromEdges(3, []Edge{{0, 2}, {1, 2}})
+	edgeNorm, selfNorm := GCNNormCoefficients(g)
+	want := 1 / math.Sqrt(3*1)
+	for _, c := range edgeNorm {
+		if math.Abs(float64(c)-want) > 1e-6 {
+			t.Fatalf("edge norm = %v, want %v", c, want)
+		}
+	}
+	if math.Abs(float64(selfNorm[2])-1.0/3) > 1e-6 {
+		t.Fatalf("self norm(2) = %v", selfNorm[2])
+	}
+	if math.Abs(float64(selfNorm[0])-1) > 1e-6 {
+		t.Fatalf("self norm(0) = %v", selfNorm[0])
+	}
+}
+
+// Property: for random graphs, sum of in-degrees == sum of out-degrees == |E|,
+// and CSR/CSC agree edge-by-edge.
+func TestQuickCSRCSCConsistency(t *testing.T) {
+	f := func(seed uint64, n8, e8 uint8) bool {
+		n := int(n8%20) + 1
+		ne := int(e8 % 60)
+		rng := tensor.NewRNG(seed)
+		edges := make([]Edge, ne)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		var din, dout int
+		for v := 0; v < n; v++ {
+			din += g.InDegree(int32(v))
+			dout += g.OutDegree(int32(v))
+		}
+		if din != ne || dout != ne {
+			return false
+		}
+		// Every CSC edge must exist in CSR and vice versa (as a multiset).
+		counts := map[Edge]int{}
+		for _, e := range g.Edges() {
+			counts[e]++
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for _, v := range g.OutNeighbors(u) {
+				counts[Edge{u, v}]--
+			}
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InClosureUnion is monotone in depth and always contains the seeds.
+func TestQuickClosureMonotone(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%15) + 2
+		rng := tensor.NewRNG(seed)
+		edges := make([]Edge, n*2)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		seed0 := []int32{int32(rng.Intn(n))}
+		prev := 0
+		for k := 0; k <= 3; k++ {
+			c := g.InClosureUnion(seed0, k)
+			if len(c) < prev {
+				return false
+			}
+			found := false
+			for _, v := range c {
+				if v == seed0[0] {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			prev = len(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 100, 1000} {
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(50))
+		}
+		sortInt32(s)
+		for i := 1; i < n; i++ {
+			if s[i-1] > s[i] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func BenchmarkFromEdges100k(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	const n, e = 10000, 100000
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustFromEdges(n, edges)
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neutronstar/internal/tensor"
+)
+
+// Supplementary k-hop and subgraph tests beyond graph_test.go: cycles,
+// self-dependencies, and closure/subtree consistency properties.
+
+func TestKHopOnCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0: every hop from any seed stays size 1 and cycles.
+	g := MustFromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	hops := g.KHopInClosure([]int32{1}, 4)
+	want := []int32{0, 2, 1, 0}
+	for h, hop := range hops {
+		if len(hop) != 1 || hop[0] != want[h] {
+			t.Fatalf("hop %d = %v, want [%d]", h+1, hop, want[h])
+		}
+	}
+	// Union closure of a cycle is the whole cycle.
+	if got := g.InClosureUnion([]int32{1}, 3); len(got) != 3 {
+		t.Fatalf("cycle closure = %v", got)
+	}
+}
+
+func TestKHopWithSelfLoop(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}})
+	hops := g.KHopInClosure([]int32{1}, 2)
+	if len(hops[0]) != 1 || hops[0][0] != 0 {
+		t.Fatalf("hop1 = %v", hops[0])
+	}
+	// 0's in-neighborhood is itself.
+	if len(hops[1]) != 1 || hops[1][0] != 0 {
+		t.Fatalf("hop2 = %v", hops[1])
+	}
+}
+
+func TestDependencySubtreeWithSelfLoopTerminates(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}})
+	v, e := g.DependencySubtreeSize(1, 5, nil)
+	// Visited-set dedup must prevent re-expansion of the self loop: vertex 0
+	// once, but its self-edge is charged at each level it is expanded at.
+	if v != 1 {
+		t.Fatalf("vertices = %d", v)
+	}
+	if e < 1 {
+		t.Fatalf("edges = %d", e)
+	}
+}
+
+func TestInducedSubgraphEmptySelection(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{Src: 0, Dst: 1}})
+	sub, globals, toLocal := g.InducedSubgraph(nil)
+	if sub.NumVertices() != 0 || sub.NumEdges() != 0 || len(globals) != 0 || len(toLocal) != 0 {
+		t.Fatal("empty selection should give empty subgraph")
+	}
+}
+
+// Property: the union closure equals seeds plus the union of per-hop
+// frontiers from KHopInClosure.
+func TestQuickClosureAgreesWithHops(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%20) + 2
+		k := int(k8%4) + 1
+		rng := tensor.NewRNG(seed)
+		edges := make([]Edge, n*2)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		seeds := []int32{int32(rng.Intn(n))}
+		union := map[int32]struct{}{seeds[0]: {}}
+		for _, hop := range g.KHopInClosure(seeds, k) {
+			for _, v := range hop {
+				union[v] = struct{}{}
+			}
+		}
+		closure := g.InClosureUnion(seeds, k)
+		if len(closure) > len(union) {
+			// Closure may be SMALLER than hop-union (hops revisit already
+			// closed vertices); it can never be larger.
+			return false
+		}
+		for _, v := range closure {
+			if _, ok := union[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: induced subgraph preserves degrees restricted to the selection.
+func TestQuickInducedSubgraphDegrees(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%20) + 4
+		rng := tensor.NewRNG(seed)
+		edges := make([]Edge, n*2)
+		for i := range edges {
+			edges[i] = Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+		}
+		g := MustFromEdges(n, edges)
+		// Select every other vertex.
+		var sel []int32
+		for v := int32(0); v < int32(n); v += 2 {
+			sel = append(sel, v)
+		}
+		sub, globals, toLocal := g.InducedSubgraph(sel)
+		for li, gv := range globals {
+			want := 0
+			for _, u := range g.InNeighbors(gv) {
+				if _, ok := toLocal[u]; ok {
+					want++
+				}
+			}
+			if sub.InDegree(int32(li)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

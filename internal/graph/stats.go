@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarises a graph's shape; it backs the Table 2 dataset listing and
+// the partition-quality reporting.
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	AvgInDegree float64
+	MaxInDegree int
+	// DegreeP50/P90/P99 are in-degree percentiles; skew indicators that
+	// predict how expensive DepCache replication will be.
+	DegreeP50, DegreeP90, DegreeP99 int
+	// Isolated counts vertices with neither in- nor out-edges.
+	Isolated int
+}
+
+// ComputeStats scans the graph once and returns its statistics.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{NumVertices: n, NumEdges: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		d := g.InDegree(int32(v))
+		degrees[v] = d
+		if d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+		if d == 0 && g.OutDegree(int32(v)) == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgInDegree = float64(g.NumEdges()) / float64(n)
+	sort.Ints(degrees)
+	s.DegreeP50 = degrees[n/2]
+	s.DegreeP90 = degrees[min(n-1, n*9/10)]
+	s.DegreeP99 = degrees[min(n-1, n*99/100)]
+	return s
+}
+
+// String formats the stats as a single table-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d avgdeg=%.2f maxdeg=%d p50/p90/p99=%d/%d/%d isolated=%d",
+		s.NumVertices, s.NumEdges, s.AvgInDegree, s.MaxInDegree,
+		s.DegreeP50, s.DegreeP90, s.DegreeP99, s.Isolated)
+}
+
+// GCNNormCoefficients returns, in CSC edge order, the symmetric GCN
+// normalisation coefficient 1/sqrt((din(v)+1)(din(u)+1)) for each edge u->v,
+// and for each vertex the self-loop coefficient 1/(din(v)+1). The +1 terms
+// account for the implicit self-loop of Kipf & Welling's renormalisation
+// trick without materialising self-edges.
+func GCNNormCoefficients(g *Graph) (edgeNorm []float32, selfNorm []float32) {
+	n := g.NumVertices()
+	edgeNorm = make([]float32, g.NumEdges())
+	selfNorm = make([]float32, n)
+	invSqrt := make([]float64, n)
+	for v := 0; v < n; v++ {
+		invSqrt[v] = 1 / math.Sqrt(float64(g.InDegree(int32(v))+1))
+		selfNorm[v] = float32(invSqrt[v] * invSqrt[v])
+	}
+	off := g.InOffsets()
+	src := g.InSources()
+	for v := 0; v < n; v++ {
+		for e := off[v]; e < off[v+1]; e++ {
+			edgeNorm[e] = float32(invSqrt[v] * invSqrt[src[e]])
+		}
+	}
+	return edgeNorm, selfNorm
+}

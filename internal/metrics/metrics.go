@@ -1,0 +1,312 @@
+// Package metrics collects per-worker busy-time and traffic accounting for
+// the utilisation experiments (paper §5.4, Figure 13). Engines bracket their
+// compute and communication phases with Track calls; the collector
+// post-processes the recorded intervals into time-bucketed utilisation
+// series, the same quantity the paper samples every 100 ms.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind labels what a worker was doing during a tracked interval.
+type Kind int
+
+const (
+	// Compute is accelerator-style work: tensor math in the training path.
+	// Its busy fraction corresponds to the paper's GPU utilisation.
+	Compute Kind = iota
+	// Comm is communication work: packing, sending, receiving, unpacking.
+	// Compute+Comm busy fraction corresponds to CPU utilisation.
+	Comm
+	// Sample is sampling work (DistDGL-like baseline only).
+	Sample
+	numKinds
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	case Sample:
+		return "sample"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+type interval struct {
+	worker   int
+	kind     Kind
+	from, to time.Duration // offsets from collector start
+}
+
+// Collector accumulates intervals and byte counters. The zero value is not
+// usable; call NewCollector. A nil *Collector is legal everywhere and makes
+// every method a no-op, so instrumentation can stay in place unconditionally.
+type Collector struct {
+	mu        sync.Mutex
+	startOnce sync.Once
+	start     time.Time
+	intervals []interval
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgsSent  atomic.Int64
+	// recvStamps records (offset, bytes) pairs for network-rate series.
+	recvMu     sync.Mutex
+	recvStamps []recvStamp
+}
+
+type recvStamp struct {
+	at    time.Duration
+	bytes int64
+}
+
+// NewCollector returns an empty collector. Its clock starts at the first
+// tracked event.
+func NewCollector() *Collector { return &Collector{} }
+
+func (c *Collector) now() time.Duration {
+	c.startOnce.Do(func() { c.start = time.Now() })
+	return time.Since(c.start)
+}
+
+// Track records the start of an interval of the given kind on worker w and
+// returns a function that closes the interval. Typical use:
+//
+//	defer c.Track(w, metrics.Compute)()
+func (c *Collector) Track(w int, kind Kind) func() {
+	if c == nil {
+		return func() {}
+	}
+	from := c.now()
+	return func() {
+		to := c.now()
+		c.mu.Lock()
+		c.intervals = append(c.intervals, interval{worker: w, kind: kind, from: from, to: to})
+		c.mu.Unlock()
+	}
+}
+
+// AddSent records n payload bytes leaving any worker.
+func (c *Collector) AddSent(n int64) {
+	if c == nil {
+		return
+	}
+	c.bytesSent.Add(n)
+	c.msgsSent.Add(1)
+}
+
+// AddReceived records n payload bytes arriving, stamped for rate series.
+func (c *Collector) AddReceived(n int64) {
+	if c == nil {
+		return
+	}
+	c.bytesRecv.Add(n)
+	at := c.now()
+	c.recvMu.Lock()
+	c.recvStamps = append(c.recvStamps, recvStamp{at: at, bytes: n})
+	c.recvMu.Unlock()
+}
+
+// BytesSent returns total payload bytes sent.
+func (c *Collector) BytesSent() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytesSent.Load()
+}
+
+// BytesReceived returns total payload bytes received.
+func (c *Collector) BytesReceived() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytesRecv.Load()
+}
+
+// MessagesSent returns the number of messages sent.
+func (c *Collector) MessagesSent() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.msgsSent.Load()
+}
+
+// Busy returns the total busy time of the given kind summed over workers.
+func (c *Collector) Busy(kind Kind) time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total time.Duration
+	for _, iv := range c.intervals {
+		if iv.kind == kind {
+			total += iv.to - iv.from
+		}
+	}
+	return total
+}
+
+// Series is a time-bucketed utilisation report.
+type Series struct {
+	Bucket time.Duration
+	// Util[kind][b] is the mean fraction (0..1, can exceed 1 for multi-core
+	// comm threads) of bucket b that workers spent in that kind.
+	Util [][]float64
+	// NetBytesPerSec[b] is the receive rate during bucket b.
+	NetBytesPerSec []float64
+}
+
+// NumBuckets returns the series length.
+func (s *Series) NumBuckets() int { return len(s.NetBytesPerSec) }
+
+// BuildSeries buckets the recorded intervals into fixed windows across
+// numWorkers workers.
+func (c *Collector) BuildSeries(bucket time.Duration, numWorkers int) *Series {
+	if c == nil || numWorkers == 0 {
+		return &Series{Bucket: bucket, Util: make([][]float64, numKinds)}
+	}
+	c.mu.Lock()
+	intervals := make([]interval, len(c.intervals))
+	copy(intervals, c.intervals)
+	c.mu.Unlock()
+	c.recvMu.Lock()
+	stamps := make([]recvStamp, len(c.recvStamps))
+	copy(stamps, c.recvStamps)
+	c.recvMu.Unlock()
+
+	var end time.Duration
+	for _, iv := range intervals {
+		if iv.to > end {
+			end = iv.to
+		}
+	}
+	for _, st := range stamps {
+		if st.at > end {
+			end = st.at
+		}
+	}
+	n := int(end/bucket) + 1
+	s := &Series{Bucket: bucket, Util: make([][]float64, numKinds), NetBytesPerSec: make([]float64, n)}
+	for k := range s.Util {
+		s.Util[k] = make([]float64, n)
+	}
+	for _, iv := range intervals {
+		for b := int(iv.from / bucket); b <= int(iv.to/bucket) && b < n; b++ {
+			lo := max(iv.from, time.Duration(b)*bucket)
+			hi := min(iv.to, time.Duration(b+1)*bucket)
+			if hi > lo {
+				s.Util[iv.kind][b] += float64(hi-lo) / float64(bucket) / float64(numWorkers)
+			}
+		}
+	}
+	for _, st := range stamps {
+		b := int(st.at / bucket)
+		if b < n {
+			s.NetBytesPerSec[b] += float64(st.bytes) / bucket.Seconds()
+		}
+	}
+	return s
+}
+
+// MeanUtil returns the mean utilisation of a kind across non-empty buckets.
+func (s *Series) MeanUtil(kind Kind) float64 {
+	u := s.Util[kind]
+	if len(u) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range u {
+		sum += v
+	}
+	return sum / float64(len(u))
+}
+
+// PeakNetRate returns the maximum receive rate over the series.
+func (s *Series) PeakNetRate() float64 {
+	var m float64
+	for _, v := range s.NetBytesPerSec {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SmoothnessCV returns the coefficient of variation of the non-zero network
+// rate buckets: lower means the bandwidth curve is smoother (the quality the
+// paper attributes to ring scheduling in Fig 13c).
+func (s *Series) SmoothnessCV() float64 {
+	var vals []float64
+	for _, v := range s.NetBytesPerSec {
+		if v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 2 {
+		return 0
+	}
+	sort.Float64s(vals)
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	var varSum float64
+	for _, v := range vals {
+		varSum += (v - mean) * (v - mean)
+	}
+	if mean == 0 {
+		return 0
+	}
+	return math.Sqrt(varSum/float64(len(vals))) / mean
+}
+
+// traceEvent is one Chrome trace-event ("X" = complete event).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace dumps every recorded interval in the Chrome trace-event
+// format (a JSON array of complete events, one timeline row per worker),
+// loadable in chrome://tracing or Perfetto. Timestamps are microseconds
+// from the collector's first event.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if c == nil {
+		_, err := w.Write([]byte("[]"))
+		return err
+	}
+	c.mu.Lock()
+	events := make([]traceEvent, 0, len(c.intervals))
+	for _, iv := range c.intervals {
+		events = append(events, traceEvent{
+			Name: iv.kind.String(),
+			Ph:   "X",
+			Ts:   float64(iv.from.Microseconds()),
+			Dur:  float64((iv.to - iv.from).Microseconds()),
+			Pid:  0,
+			Tid:  iv.worker,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	return json.NewEncoder(w).Encode(events)
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.Track(0, Compute)()
+	c.AddSent(100)
+	c.AddReceived(100)
+	if c.BytesSent() != 0 || c.BytesReceived() != 0 || c.MessagesSent() != 0 {
+		t.Fatal("nil collector recorded something")
+	}
+	if c.Busy(Compute) != 0 {
+		t.Fatal("nil collector busy nonzero")
+	}
+	s := c.BuildSeries(time.Millisecond, 4)
+	if s.NumBuckets() != 0 {
+		t.Fatal("nil collector produced buckets")
+	}
+}
+
+func TestTrackRecordsBusyTime(t *testing.T) {
+	c := NewCollector()
+	stop := c.Track(0, Compute)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	busy := c.Busy(Compute)
+	if busy < 15*time.Millisecond || busy > 200*time.Millisecond {
+		t.Fatalf("busy = %v", busy)
+	}
+	if c.Busy(Comm) != 0 {
+		t.Fatal("comm busy should be zero")
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	c := NewCollector()
+	c.AddSent(10)
+	c.AddSent(5)
+	c.AddReceived(7)
+	if c.BytesSent() != 15 || c.BytesReceived() != 7 || c.MessagesSent() != 2 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestConcurrentTracking(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				stop := c.Track(w, Kind(i%2))
+				c.AddSent(1)
+				stop()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.MessagesSent() != 400 {
+		t.Fatalf("sent = %d", c.MessagesSent())
+	}
+}
+
+func TestBuildSeriesUtilisation(t *testing.T) {
+	c := NewCollector()
+	// Worker 0 computes ~30ms, worker 1 communicates ~30ms concurrently.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		stop := c.Track(0, Compute)
+		time.Sleep(30 * time.Millisecond)
+		stop()
+	}()
+	go func() {
+		defer wg.Done()
+		stop := c.Track(1, Comm)
+		time.Sleep(30 * time.Millisecond)
+		stop()
+	}()
+	wg.Wait()
+	c.AddReceived(1000)
+	s := c.BuildSeries(10*time.Millisecond, 2)
+	if s.NumBuckets() < 3 {
+		t.Fatalf("buckets = %d", s.NumBuckets())
+	}
+	// With 2 workers and one computing, mean compute util in the busy window
+	// should approach 0.5.
+	if u := s.MeanUtil(Compute); u <= 0.1 || u > 0.6 {
+		t.Fatalf("mean compute util = %v", u)
+	}
+	if u := s.MeanUtil(Comm); u <= 0.1 || u > 0.6 {
+		t.Fatalf("mean comm util = %v", u)
+	}
+	if s.PeakNetRate() <= 0 {
+		t.Fatal("no network rate recorded")
+	}
+}
+
+func TestSmoothnessCV(t *testing.T) {
+	c := NewCollector()
+	c.Track(0, Compute)() // start the clock
+	c.AddReceived(100)
+	s := c.BuildSeries(time.Millisecond, 1)
+	// Single bucket: CV undefined, must be 0.
+	if s.SmoothnessCV() != 0 {
+		t.Fatal("single-sample CV should be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "comm" || Sample.String() != "sample" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := NewCollector()
+	stop := c.Track(2, Comm)
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	stop = c.Track(0, Compute)
+	stop()
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Events sorted by start time; first is the comm interval on worker 2.
+	if events[0]["name"] != "comm" || events[0]["tid"].(float64) != 2 {
+		t.Fatalf("first event %+v", events[0])
+	}
+	if events[0]["dur"].(float64) < 1000 {
+		t.Fatalf("duration %v too short", events[0]["dur"])
+	}
+	// Nil collector emits an empty array.
+	var nilC *Collector
+	buf.Reset()
+	if err := nilC.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]" {
+		t.Fatalf("nil trace = %q", buf.String())
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"neutronstar/internal/tensor"
+)
+
+// paramRecord is the on-disk form of one parameter.
+type paramRecord struct {
+	Name       string
+	Rows, Cols int
+	Data       []float32
+}
+
+// checkpoint is the on-disk form of a model's parameters.
+type checkpoint struct {
+	ModelName string
+	Params    []paramRecord
+}
+
+// SaveParams serialises the model's parameters (gob encoding). Only values
+// are saved — optimiser state is not checkpointed, matching the common
+// inference-handoff use case.
+func (m *Model) SaveParams(w io.Writer) error {
+	cp := checkpoint{ModelName: m.Name}
+	for _, p := range m.Params() {
+		cp.Params = append(cp.Params, paramRecord{
+			Name: p.Name, Rows: p.Value.Rows(), Cols: p.Value.Cols(),
+			Data: p.Value.Data(),
+		})
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadParams restores parameters saved by SaveParams into a model of
+// identical architecture. It fails without partial mutation if the
+// checkpoint does not match the model's parameter names and shapes.
+func (m *Model) LoadParams(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	params := m.Params()
+	if len(cp.Params) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(cp.Params), len(params))
+	}
+	for i, rec := range cp.Params {
+		p := params[i]
+		if rec.Name != p.Name || rec.Rows != p.Value.Rows() || rec.Cols != p.Value.Cols() {
+			return fmt.Errorf("nn: checkpoint param %d is %s %dx%d, model wants %s %dx%d",
+				i, rec.Name, rec.Rows, rec.Cols, p.Name, p.Value.Rows(), p.Value.Cols())
+		}
+		if len(rec.Data) != rec.Rows*rec.Cols {
+			return fmt.Errorf("nn: checkpoint param %s has %d values for %dx%d",
+				rec.Name, len(rec.Data), rec.Rows, rec.Cols)
+		}
+	}
+	for i, rec := range cp.Params {
+		params[i].Value.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
+	}
+	return nil
+}

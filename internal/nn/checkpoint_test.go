@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := MustNewModel(GAT, []int{8, 6, 3}, 0, 21)
+	var buf bytes.Buffer
+	if err := a.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh model with a different seed: weights differ until loaded.
+	b := MustNewModel(GAT, []int{8, 6, 3}, 0, 99)
+	if b.Params()[0].Value.Equal(a.Params()[0].Value) {
+		t.Fatal("precondition: models should differ")
+	}
+	if err := b.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !pa[i].Value.Equal(pb[i].Value) {
+			t.Fatalf("param %d differs after load", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	a := MustNewModel(GCN, []int{8, 6, 3}, 0, 1)
+	var buf bytes.Buffer
+	if err := a.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different architecture: shape mismatch must be rejected whole.
+	b := MustNewModel(GCN, []int{8, 4, 3}, 0, 1)
+	before := b.Params()[0].Value.Clone()
+	if err := b.LoadParams(&buf); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	if !b.Params()[0].Value.Equal(before) {
+		t.Fatal("failed load mutated the model")
+	}
+	// Different model family: param count/name mismatch.
+	c := MustNewModel(GAT, []int{8, 6, 3}, 0, 1)
+	buf.Reset()
+	if err := a.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadParams(&buf); err == nil {
+		t.Fatal("expected family mismatch error")
+	}
+}
+
+func TestCheckpointGarbageInput(t *testing.T) {
+	m := MustNewModel(GCN, []int{4, 2}, 0, 1)
+	if err := m.LoadParams(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

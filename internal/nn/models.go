@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+
+	"neutronstar/internal/tensor"
+)
+
+// ModelKind names one of the paper's three evaluated GNN architectures.
+type ModelKind string
+
+const (
+	// GCN is the graph convolutional network of Kipf & Welling.
+	GCN ModelKind = "gcn"
+	// GIN is the graph isomorphism network of Xu et al.
+	GIN ModelKind = "gin"
+	// GAT is the graph attention network of Velickovic et al.
+	GAT ModelKind = "gat"
+	// SAGE is a GraphSAGE-style model with max-pooling aggregation — an
+	// extension beyond the paper's three evaluated models, exercising the
+	// max aggregator of GatherByDst.
+	SAGE ModelKind = "sage"
+)
+
+// ModelKinds lists all supported architectures.
+func ModelKinds() []ModelKind { return []ModelKind{GCN, GIN, GAT, SAGE} }
+
+// NewModel builds an L-layer model of the given kind with the dimension
+// chain dims = [featureDim, hidden..., numClasses]; len(dims)-1 layers are
+// created, all but the last with activations, as in the paper's 2-layer
+// configurations. Weight initialisation draws from seed deterministically.
+func NewModel(kind ModelKind, dims []int, dropout float32, seed uint64) (*Model, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("nn: need at least [in, out] dims, got %v", dims)
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{Name: string(kind)}
+	for i := 0; i+1 < len(dims); i++ {
+		act := i+2 < len(dims) // no activation on the classifier layer
+		var l Layer
+		switch kind {
+		case GCN:
+			l = NewGCNLayer(dims[i], dims[i+1], act, dropout, rng)
+		case GIN:
+			l = NewGINLayer(dims[i], dims[i+1], act, dropout, rng)
+		case GAT:
+			l = NewGATLayer(dims[i], dims[i+1], act, dropout, rng)
+		case SAGE:
+			l = NewSAGELayer(dims[i], dims[i+1], act, dropout, rng)
+		default:
+			return nil, fmt.Errorf("nn: unknown model kind %q", kind)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustNewModel is NewModel that panics on error.
+func MustNewModel(kind ModelKind, dims []int, dropout float32, seed uint64) *Model {
+	m, err := NewModel(kind, dims, dropout, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CloneModel builds a fresh model of identical architecture and identical
+// initial weights (same seed path). Engines use it to replicate parameters
+// across workers: each worker trains its own copy, kept in sync by
+// all-reduced gradients and deterministic optimiser steps.
+func CloneModel(kind ModelKind, dims []int, dropout float32, seed uint64) *Model {
+	return MustNewModel(kind, dims, dropout, seed)
+}

@@ -1,0 +1,209 @@
+// Package nn builds GNN layers and optimisers on top of the autograd tape.
+// A layer receives, through ForwardCtx, exactly the decoupled inputs of the
+// paper's programming model (§4.1): per-edge gathered source representations
+// (the result of GetFromDepNbr + ScatterToEdge), the destination vertices'
+// own rows, and the CSC structure needed for destination-grouped aggregation
+// (GatherByDst). What the layer does with them — EdgeForward and
+// VertexForward — is model-specific: GCN, GIN and GAT are provided, matching
+// the paper's evaluation.
+package nn
+
+import (
+	"fmt"
+
+	"neutronstar/internal/autograd"
+	"neutronstar/internal/tensor"
+)
+
+// Param is one trainable weight matrix, replicated on every worker. Grad
+// accumulates partial gradients from the local tape; the engine all-reduces
+// Grad across workers before the optimiser step so replicas stay identical.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	bound *autograd.Variable
+}
+
+// NewParam wraps an initialised tensor as a parameter.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows(), value.Cols())}
+}
+
+// Bind registers the parameter as a differentiable leaf on the tape for the
+// current pass and remembers the variable so CollectGrad can harvest it.
+// Binding twice on the same tape (a layer invoked on several destination
+// blocks) returns the existing leaf so gradients accumulate in one place.
+func (p *Param) Bind(t *autograd.Tape) *autograd.Variable {
+	if p.bound != nil && p.bound.Tape() == t {
+		return p.bound
+	}
+	p.bound = t.Leaf(p.Value, true, p.Name)
+	return p.bound
+}
+
+// CollectGrad adds the bound variable's gradient into p.Grad and unbinds.
+// It is a no-op if the parameter was never bound or received no gradient.
+func (p *Param) CollectGrad() {
+	if p.bound != nil && p.bound.Grad != nil {
+		tensor.AddInto(p.Grad, p.Grad, p.bound.Grad)
+	}
+	p.bound = nil
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElements returns the parameter size.
+func (p *Param) NumElements() int { return p.Value.Len() }
+
+// ForwardCtx carries the engine-assembled inputs for one block of
+// destination vertices in one layer.
+type ForwardCtx struct {
+	Tape *autograd.Tape
+	// EdgeSrc holds one row per local in-edge, in destination-grouped (CSC)
+	// order: the source vertex's previous-layer representation (already
+	// pre-transformed if the layer implements PreTransformer).
+	EdgeSrc *autograd.Variable
+	// Self holds the destination vertices' own previous-layer rows
+	// (pre-transformed likewise).
+	Self *autograd.Variable
+	// Offsets (len NumDst+1) delimits each destination's edge group within
+	// EdgeSrc.
+	Offsets []int32
+	// EdgeDst maps each edge to its destination's local index (0..NumDst).
+	EdgeDst []int32
+	// EdgeNorm is the per-edge GCN normalisation coefficient; SelfNorm the
+	// per-destination self-loop coefficient. Nil when the model ignores them.
+	EdgeNorm []float32
+	SelfNorm []float32
+	Training bool
+	RNG      *tensor.RNG
+}
+
+// NumDst returns the number of destination vertices in the block.
+func (c *ForwardCtx) NumDst() int { return len(c.Offsets) - 1 }
+
+// Layer is one GNN propagation layer.
+type Layer interface {
+	InDim() int
+	OutDim() int
+	Params() []*Param
+	// Forward computes the block's new representations (NumDst x OutDim).
+	Forward(ctx *ForwardCtx) *autograd.Variable
+}
+
+// PreTransformer is implemented by layers that apply a vertex-level
+// transformation before edge scattering (e.g. GAT's z = W·h). The engine
+// applies it once per row universe, avoiding per-edge re-computation, and
+// the communicated representation stays the raw h as in the paper.
+type PreTransformer interface {
+	PreTransform(t *autograd.Tape, h *autograd.Variable, training bool, rng *tensor.RNG) *autograd.Variable
+}
+
+// Model is a stack of layers ending in a classifier dimension.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumLayers returns the number of propagation layers (the paper's L).
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// Dims returns the representation dimension entering each layer plus the
+// final output dimension: [d^(0), d^(1), ..., d^(L)].
+func (m *Model) Dims() []int {
+	dims := make([]int, 0, len(m.Layers)+1)
+	if len(m.Layers) == 0 {
+		return dims
+	}
+	dims = append(dims, m.Layers[0].InDim())
+	for _, l := range m.Layers {
+		dims = append(dims, l.OutDim())
+	}
+	return dims
+}
+
+// Validate checks layer dimension chaining.
+func (m *Model) Validate() error {
+	for i := 1; i < len(m.Layers); i++ {
+		if m.Layers[i-1].OutDim() != m.Layers[i].InDim() {
+			return fmt.Errorf("nn: layer %d out %d != layer %d in %d",
+				i-1, m.Layers[i-1].OutDim(), i, m.Layers[i].InDim())
+		}
+	}
+	return nil
+}
+
+// SumDecomposable is implemented by layers whose neighbor aggregation is a
+// plain (possibly per-edge-weighted) sum. For such layers the engine can
+// aggregate incrementally, one received source-worker chunk at a time — the
+// chunk-based computation of the paper's §4.3 (Fig. 8): the EdgeStage of
+// chunk k runs while chunk k+1 is still on the wire, and the VertexStage
+// runs once after all partials are summed. GAT is not sum-decomposable (its
+// per-destination softmax needs every score first), matching the paper's
+// observation that edge-softmax models limit chunk pipelining.
+type SumDecomposable interface {
+	// EdgeStage computes the partial aggregation of one edge chunk:
+	// one row per destination (numDst rows), summed over the chunk's edges.
+	EdgeStage(t *autograd.Tape, edgeSrc *autograd.Variable, edgeNorm []float32,
+		edgeDst []int32, numDst int) *autograd.Variable
+	// VertexStage combines the total aggregation with the destinations' own
+	// rows and applies the layer's NN transform.
+	VertexStage(t *autograd.Tape, agg, self *autograd.Variable, selfNorm []float32,
+		training bool, rng *tensor.RNG) *autograd.Variable
+}
+
+// EdgeStage implements SumDecomposable for GCN: normalised copy + sum.
+func (l *GCNLayer) EdgeStage(t *autograd.Tape, edgeSrc *autograd.Variable,
+	edgeNorm []float32, edgeDst []int32, numDst int) *autograd.Variable {
+	msgs := edgeSrc
+	if edgeNorm != nil {
+		msgs = t.MulColVec(msgs, edgeNorm)
+	}
+	return t.ScatterAddRows(msgs, edgeDst, numDst)
+}
+
+// VertexStage implements SumDecomposable for GCN.
+func (l *GCNLayer) VertexStage(t *autograd.Tape, agg, self *autograd.Variable,
+	selfNorm []float32, training bool, rng *tensor.RNG) *autograd.Variable {
+	if selfNorm != nil {
+		self = t.MulColVec(self, selfNorm)
+	}
+	combined := t.Add(agg, self)
+	combined = t.Dropout(combined, l.dropout, rng, training)
+	z := t.AddBias(t.MatMul(combined, l.w.Bind(t)), l.b.Bind(t))
+	if l.act {
+		return t.ReLU(z)
+	}
+	return z
+}
+
+// EdgeStage implements SumDecomposable for GIN: raw sum.
+func (l *GINLayer) EdgeStage(t *autograd.Tape, edgeSrc *autograd.Variable,
+	edgeNorm []float32, edgeDst []int32, numDst int) *autograd.Variable {
+	return t.ScatterAddRows(edgeSrc, edgeDst, numDst)
+}
+
+// VertexStage implements SumDecomposable for GIN.
+func (l *GINLayer) VertexStage(t *autograd.Tape, agg, self *autograd.Variable,
+	selfNorm []float32, training bool, rng *tensor.RNG) *autograd.Variable {
+	combined := t.Add(agg, t.Scale(self, 1+l.epsilon))
+	combined = t.Dropout(combined, l.dropout, rng, training)
+	h := t.ReLU(t.AddBias(t.MatMul(combined, l.w1.Bind(t)), l.b1.Bind(t)))
+	z := t.AddBias(t.MatMul(h, l.w2.Bind(t)), l.b2.Bind(t))
+	if l.act {
+		return t.ReLU(z)
+	}
+	return z
+}

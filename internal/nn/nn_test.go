@@ -1,0 +1,506 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"neutronstar/internal/autograd"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/tensor"
+)
+
+// buildCtx assembles a ForwardCtx for a full small graph on a fresh tape:
+// all vertices are destinations; EdgeSrc gathers raw (or pre-transformed)
+// rows in CSC order. Returns the ctx and the input leaf.
+func buildCtx(t *testing.T, g *graph.Graph, layer Layer, h *tensor.Tensor, training bool) (*ForwardCtx, *autograd.Variable) {
+	t.Helper()
+	tape := autograd.NewTape()
+	n := g.NumVertices()
+	hVar := tape.Leaf(h, true, "h")
+	rows := hVar
+	if pt, ok := layer.(PreTransformer); ok {
+		rows = pt.PreTransform(tape, hVar, training, tensor.NewRNG(1))
+	}
+	srcIdx := make([]int32, 0, g.NumEdges())
+	dstIdx := make([]int32, 0, g.NumEdges())
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		for _, u := range g.InNeighbors(int32(v)) {
+			srcIdx = append(srcIdx, u)
+			dstIdx = append(dstIdx, int32(v))
+		}
+		offsets[v+1] = int32(len(srcIdx))
+	}
+	edgeNorm, selfNorm := graph.GCNNormCoefficients(g)
+	ctx := &ForwardCtx{
+		Tape:     tape,
+		EdgeSrc:  tape.Gather(rows, srcIdx),
+		Self:     rows,
+		Offsets:  offsets,
+		EdgeDst:  dstIdx,
+		EdgeNorm: edgeNorm,
+		SelfNorm: selfNorm,
+		Training: training,
+		RNG:      tensor.NewRNG(2),
+	}
+	return ctx, hVar
+}
+
+func toyGraph() *graph.Graph {
+	return graph.MustFromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 0}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3},
+	})
+}
+
+func TestLayerShapes(t *testing.T) {
+	g := toyGraph()
+	rng := tensor.NewRNG(3)
+	h := tensor.RandNormal(5, 8, 0, 1, rng)
+	layers := []Layer{
+		NewGCNLayer(8, 4, true, 0, rng),
+		NewGINLayer(8, 4, true, 0, rng),
+		NewGATLayer(8, 4, true, 0, rng),
+		NewSAGELayer(8, 4, true, 0, rng),
+	}
+	for _, l := range layers {
+		if l.InDim() != 8 || l.OutDim() != 4 {
+			t.Fatalf("%T dims wrong", l)
+		}
+		ctx, _ := buildCtx(t, g, l, h.Clone(), false)
+		out := l.Forward(ctx)
+		if out.Value.Rows() != 5 || out.Value.Cols() != 4 {
+			t.Fatalf("%T output %dx%d", l, out.Value.Rows(), out.Value.Cols())
+		}
+	}
+}
+
+func TestLayerGradientsFlowToParamsAndInput(t *testing.T) {
+	g := toyGraph()
+	rng := tensor.NewRNG(4)
+	h := tensor.RandNormal(5, 8, 0, 1, rng)
+	for _, mk := range []func() Layer{
+		func() Layer { return NewGCNLayer(8, 4, true, 0, rng) },
+		func() Layer { return NewGINLayer(8, 4, true, 0, rng) },
+		func() Layer { return NewGATLayer(8, 4, true, 0, rng) },
+		func() Layer { return NewSAGELayer(8, 4, true, 0, rng) },
+	} {
+		l := mk()
+		ctx, hVar := buildCtx(t, g, l, h.Clone(), true)
+		out := l.Forward(ctx)
+		seed := tensor.New(out.Value.Rows(), out.Value.Cols())
+		seed.Fill(1)
+		ctx.Tape.Backward(out, seed)
+		for _, p := range l.Params() {
+			p.CollectGrad()
+		}
+		var gotParamGrad bool
+		for _, p := range l.Params() {
+			if tensor.Norm(p.Grad) > 0 {
+				gotParamGrad = true
+			}
+		}
+		if !gotParamGrad {
+			t.Fatalf("%T: no parameter received gradient", l)
+		}
+		if hVar.Grad == nil || tensor.Norm(hVar.Grad) == 0 {
+			t.Fatalf("%T: input received no gradient", l)
+		}
+	}
+}
+
+func TestGCNAggregationValues(t *testing.T) {
+	// Two sources into one destination with known norms: verify the
+	// aggregation arithmetic end-to-end with identity weights.
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}})
+	rng := tensor.NewRNG(5)
+	l := NewGCNLayer(2, 2, false, 0, rng)
+	// Identity weight, zero bias.
+	l.w.Value.Zero()
+	l.w.Value.Set(0, 0, 1)
+	l.w.Value.Set(1, 1, 1)
+	h := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {0, 0}})
+	ctx, _ := buildCtx(t, g, l, h, false)
+	out := l.Forward(ctx)
+	// norm for each edge = 1/sqrt(3*1); vertex 2 self term is 0.
+	want := 1 / math.Sqrt(3)
+	if math.Abs(float64(out.Value.At(2, 0))-want) > 1e-5 ||
+		math.Abs(float64(out.Value.At(2, 1))-want) > 1e-5 {
+		t.Fatalf("aggregated = %v,%v want %v", out.Value.At(2, 0), out.Value.At(2, 1), want)
+	}
+	// Vertex 0 has no in-edges: output = selfnorm * h0 = 1 * (1,0).
+	if math.Abs(float64(out.Value.At(0, 0))-1) > 1e-5 {
+		t.Fatalf("self-only vertex = %v", out.Value.At(0, 0))
+	}
+}
+
+func TestGATAttentionSumsToOne(t *testing.T) {
+	g := toyGraph()
+	rng := tensor.NewRNG(6)
+	l := NewGATLayer(4, 4, false, 0, rng)
+	// With W=I and all-equal rows, attention is uniform; aggregate equals z.
+	l.w.Value.Zero()
+	for i := 0; i < 4; i++ {
+		l.w.Value.Set(i, i, 1)
+	}
+	h := tensor.New(5, 4)
+	h.Fill(2)
+	ctx, _ := buildCtx(t, g, l, h, false)
+	out := l.Forward(ctx)
+	// Every vertex with >=1 in-edge aggregates exactly z (rows all equal,
+	// attention convex) plus the self residual z: out = 4 across dims.
+	for v := 0; v < 5; v++ {
+		if g.InDegree(int32(v)) == 0 {
+			continue
+		}
+		for j := 0; j < 4; j++ {
+			if math.Abs(float64(out.Value.At(v, j))-4) > 1e-4 {
+				t.Fatalf("v%d out = %v, want 4", v, out.Value.At(v, j))
+			}
+		}
+	}
+}
+
+func TestParamBindReuseOnSameTape(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{1}}))
+	tape := autograd.NewTape()
+	v1 := p.Bind(tape)
+	v2 := p.Bind(tape)
+	if v1 != v2 {
+		t.Fatal("Bind on same tape returned different variables")
+	}
+	tape2 := autograd.NewTape()
+	if p.Bind(tape2) == v1 {
+		t.Fatal("Bind on new tape returned stale variable")
+	}
+}
+
+func TestParamCollectGradAccumulates(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{1, 1}}))
+	tape := autograd.NewTape()
+	v := p.Bind(tape)
+	x := tape.Leaf(tensor.FromRows([][]float32{{2, 3}}), false, "x")
+	out := tape.Mul(v, x)
+	seed := tensor.FromRows([][]float32{{1, 1}})
+	tape.Backward(out, seed)
+	p.CollectGrad()
+	if p.Grad.At(0, 0) != 2 || p.Grad.At(0, 1) != 3 {
+		t.Fatalf("grad = %v", p.Grad)
+	}
+	// CollectGrad with no binding is a no-op.
+	p.CollectGrad()
+	if p.Grad.At(0, 0) != 2 {
+		t.Fatal("second CollectGrad changed grad")
+	}
+	p.ZeroGrad()
+	if tensor.Norm(p.Grad) != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestModelConstruction(t *testing.T) {
+	for _, kind := range ModelKinds() {
+		m, err := NewModel(kind, []int{16, 8, 4}, 0.1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumLayers() != 2 {
+			t.Fatalf("%s layers = %d", kind, m.NumLayers())
+		}
+		dims := m.Dims()
+		if len(dims) != 3 || dims[0] != 16 || dims[1] != 8 || dims[2] != 4 {
+			t.Fatalf("%s dims = %v", kind, dims)
+		}
+		if len(m.Params()) == 0 {
+			t.Fatalf("%s has no params", kind)
+		}
+	}
+	if _, err := NewModel("bogus", []int{4, 2}, 0, 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if _, err := NewModel(GCN, []int{4}, 0, 1); err == nil {
+		t.Fatal("expected error for short dims")
+	}
+}
+
+func TestCloneModelIdenticalWeights(t *testing.T) {
+	a := CloneModel(GCN, []int{8, 4, 2}, 0, 11)
+	b := CloneModel(GCN, []int{8, 4, 2}, 0, 11)
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatal("param counts differ")
+	}
+	for i := range pa {
+		if !pa[i].Value.Equal(pb[i].Value) {
+			t.Fatalf("param %d differs between clones", i)
+		}
+	}
+	c := CloneModel(GCN, []int{8, 4, 2}, 0, 12)
+	if c.Params()[0].Value.Equal(pa[0].Value) {
+		t.Fatal("different seed produced identical weights")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{1, 2}}))
+	p.Grad.Set(0, 0, 0.5)
+	p.Grad.Set(0, 1, -0.5)
+	NewSGD(0.1).Step([]*Param{p})
+	if math.Abs(float64(p.Value.At(0, 0))-0.95) > 1e-6 ||
+		math.Abs(float64(p.Value.At(0, 1))-2.05) > 1e-6 {
+		t.Fatalf("sgd result %v", p.Value)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise (w-3)^2 by feeding grad = 2(w-3).
+	p := NewParam("w", tensor.FromRows([][]float32{{0}}))
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Set(0, 0, 2*(p.Value.At(0, 0)-3))
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.Value.At(0, 0))-3) > 0.05 {
+		t.Fatalf("adam converged to %v, want 3", p.Value.At(0, 0))
+	}
+}
+
+func TestAdamDeterministicAcrossReplicas(t *testing.T) {
+	mk := func() (*Param, *Adam) {
+		return NewParam("w", tensor.FromRows([][]float32{{1, -1}})), NewAdam(0.05)
+	}
+	p1, o1 := mk()
+	p2, o2 := mk()
+	for i := 0; i < 20; i++ {
+		g := float32(i%3) - 1
+		p1.Grad.Fill(g)
+		p2.Grad.Fill(g)
+		o1.Step([]*Param{p1})
+		o2.Step([]*Param{p2})
+	}
+	if !p1.Value.Equal(p2.Value) {
+		t.Fatal("replicated Adam diverged")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	ps := []*Param{
+		NewParam("a", tensor.New(2, 2)),
+		NewParam("b", tensor.New(1, 3)),
+	}
+	ps[0].Grad.Fill(1)
+	ps[1].Grad.Fill(2)
+	ZeroGrads(ps)
+	for _, p := range ps {
+		if tensor.Norm(p.Grad) != 0 {
+			t.Fatal("ZeroGrads missed a param")
+		}
+	}
+}
+
+// End-to-end: a 2-layer GCN trained on a tiny planted two-cluster graph must
+// fit the training labels — validates layers, autograd and optimiser jointly.
+func TestTinyGCNTrainingConverges(t *testing.T) {
+	// Two 10-cliques (directed both ways), classes 0 and 1.
+	var edges []graph.Edge
+	for c := 0; c < 2; c++ {
+		base := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			for j := int32(0); j < 10; j++ {
+				if i != j {
+					edges = append(edges, graph.Edge{Src: base + i, Dst: base + j})
+				}
+			}
+		}
+	}
+	g := graph.MustFromEdges(20, edges)
+	rng := tensor.NewRNG(13)
+	features := tensor.RandNormal(20, 6, 0, 1, rng)
+	for v := 0; v < 20; v++ {
+		features.Set(v, 0, features.At(v, 0)+float32(v/10)*2-1)
+	}
+	labels := make([]int32, 20)
+	mask := make([]bool, 20)
+	for v := range labels {
+		labels[v] = int32(v / 10)
+		mask[v] = true
+	}
+	model := MustNewModel(GCN, []int{6, 8, 2}, 0, 14)
+	opt := NewAdam(0.05)
+
+	var lastLoss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		// Layer-by-layer forward on a single tape stack.
+		h := features
+		tapes := make([]*autograd.Tape, 0, 3)
+		var outVars []*autograd.Variable
+		var inVars []*autograd.Variable
+		for _, l := range model.Layers {
+			ctx, hVar := buildCtxBench(g, l, h, true)
+			out := l.Forward(ctx)
+			tapes = append(tapes, ctx.Tape)
+			outVars = append(outVars, out)
+			inVars = append(inVars, hVar)
+			h = out.Value
+		}
+		lossTape := autograd.NewTape()
+		logits := lossTape.Leaf(h, true, "logits")
+		loss, _ := lossTape.NLLLossMasked(lossTape.LogSoftmax(logits), labels, mask)
+		lastLoss = float64(loss.Value.At(0, 0))
+		lossTape.Backward(loss, nil)
+		grad := logits.Grad
+		for i := len(model.Layers) - 1; i >= 0; i-- {
+			tapes[i].Backward(outVars[i], grad)
+			grad = inVars[i].Grad
+		}
+		for _, p := range model.Params() {
+			p.CollectGrad()
+		}
+		opt.Step(model.Params())
+		ZeroGrads(model.Params())
+	}
+	if lastLoss > 0.2 {
+		t.Fatalf("training did not converge: loss %v", lastLoss)
+	}
+}
+
+// buildCtxBench is buildCtx without the testing.T plumbing.
+func buildCtxBench(g *graph.Graph, layer Layer, h *tensor.Tensor, training bool) (*ForwardCtx, *autograd.Variable) {
+	tape := autograd.NewTape()
+	n := g.NumVertices()
+	hVar := tape.Leaf(h, true, "h")
+	rows := hVar
+	if pt, ok := layer.(PreTransformer); ok {
+		rows = pt.PreTransform(tape, hVar, training, tensor.NewRNG(1))
+	}
+	srcIdx := make([]int32, 0, g.NumEdges())
+	dstIdx := make([]int32, 0, g.NumEdges())
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		for _, u := range g.InNeighbors(int32(v)) {
+			srcIdx = append(srcIdx, u)
+			dstIdx = append(dstIdx, int32(v))
+		}
+		offsets[v+1] = int32(len(srcIdx))
+	}
+	edgeNorm, selfNorm := graph.GCNNormCoefficients(g)
+	ctx := &ForwardCtx{
+		Tape: tape, EdgeSrc: tape.Gather(rows, srcIdx), Self: rows,
+		Offsets: offsets, EdgeDst: dstIdx,
+		EdgeNorm: edgeNorm, SelfNorm: selfNorm,
+		Training: training, RNG: tensor.NewRNG(2),
+	}
+	return ctx, hVar
+}
+
+func TestMultiHeadGAT(t *testing.T) {
+	g := toyGraph()
+	rng := tensor.NewRNG(31)
+	l, err := NewMultiHeadGATLayer(8, 6, 3, true, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumHeads() != 3 || l.OutDim() != 6 || l.InDim() != 8 {
+		t.Fatal("dims wrong")
+	}
+	if len(l.Params()) != 3*4 {
+		t.Fatalf("params = %d", len(l.Params()))
+	}
+	h := tensor.RandNormal(5, 8, 0, 1, rng)
+	ctx, hVar := buildCtx(t, g, l, h, true)
+	out := l.Forward(ctx)
+	if out.Value.Rows() != 5 || out.Value.Cols() != 6 {
+		t.Fatalf("output %dx%d", out.Value.Rows(), out.Value.Cols())
+	}
+	seed := tensor.New(5, 6)
+	seed.Fill(1)
+	ctx.Tape.Backward(out, seed)
+	for _, p := range l.Params() {
+		p.CollectGrad()
+	}
+	grads := 0
+	for _, p := range l.Params() {
+		if tensor.Norm(p.Grad) > 0 {
+			grads++
+		}
+	}
+	if grads < len(l.Params())-3 { // biases of dead heads may be zero-ish, but most must flow
+		t.Fatalf("only %d of %d params got gradients", grads, len(l.Params()))
+	}
+	if hVar.Grad == nil || tensor.Norm(hVar.Grad) == 0 {
+		t.Fatal("input got no gradient")
+	}
+}
+
+func TestMultiHeadGATRejectsBadHeads(t *testing.T) {
+	rng := tensor.NewRNG(32)
+	if _, err := NewMultiHeadGATLayer(8, 6, 4, true, 0, rng); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	if _, err := NewMultiHeadGATLayer(8, 6, 0, true, 0, rng); err == nil {
+		t.Fatal("expected zero-head error")
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	if ConstantLR(0.1).LR(99) != 0.1 {
+		t.Fatal("constant changed")
+	}
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.5}
+	if s.LR(0) != 1 || s.LR(9) != 1 || s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("step lr wrong: %v %v %v %v", s.LR(0), s.LR(9), s.LR(10), s.LR(25))
+	}
+	c := CosineLR{Base: 1, Min: 0.1, Span: 100}
+	if c.LR(0) != 1 {
+		t.Fatalf("cosine start %v", c.LR(0))
+	}
+	if got := c.LR(100); got != 0.1 {
+		t.Fatalf("cosine end %v", got)
+	}
+	mid := c.LR(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("cosine mid %v", mid)
+	}
+	// Monotone decreasing over the span.
+	prev := c.LR(0)
+	for e := 1; e <= 100; e += 7 {
+		if v := c.LR(e); v > prev+1e-6 {
+			t.Fatalf("cosine not decreasing at %d: %v > %v", e, v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	sgd := NewSGD(0.1)
+	SetLR(sgd, 0.01)
+	if sgd.LR != 0.01 {
+		t.Fatal("SetLR on SGD failed")
+	}
+	adam := NewAdam(0.1)
+	SetLR(adam, 0.02)
+	if adam.LR != 0.02 {
+		t.Fatal("SetLR on Adam failed")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", tensor.New(1, 2))
+	p.Grad.Set(0, 0, 3)
+	p.Grad.Set(0, 1, 4) // norm 5
+	pre := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(pre-5) > 1e-6 {
+		t.Fatalf("pre-clip norm %v", pre)
+	}
+	if post := tensor.Norm(p.Grad); math.Abs(post-1) > 1e-5 {
+		t.Fatalf("post-clip norm %v", post)
+	}
+	// Under the limit: unchanged.
+	p.Grad.Set(0, 0, 0.3)
+	p.Grad.Set(0, 1, 0.4)
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.At(0, 0) != 0.3 {
+		t.Fatal("clip changed a small gradient")
+	}
+}

@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the minimum number of multiply-adds before GEMM
+// fans out across goroutines; below it the scheduling overhead dominates.
+const gemmParallelThreshold = 1 << 16
+
+// MatMul returns a @ b.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d @ %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b. dst must have shape a.rows x b.cols and
+// must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulInto %dx%d = %dx%d @ %dx%d",
+			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+	dst.Zero()
+	work := a.rows * a.cols * b.cols
+	if work < gemmParallelThreshold || a.rows < 2 {
+		gemmRows(dst, a, b, 0, a.rows)
+		return
+	}
+	parallelRows(a.rows, func(lo, hi int) { gemmRows(dst, a, b, lo, hi) })
+}
+
+// gemmRows computes rows [lo,hi) of dst = a @ b using an ikj loop order so the
+// inner loop streams over contiguous rows of b and dst.
+func gemmRows(dst, a, b *Tensor, lo, hi int) {
+	n := b.cols
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.data[k*n : k*n+n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTA returns aᵀ @ b, computed without materialising aᵀ.
+// a is KxM, b is KxN, result is MxN. This is the shape of weight gradients.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulTA %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	m, n := a.cols, b.cols
+	if a.rows*m*n < gemmParallelThreshold || m < 2 {
+		for k := 0; k < a.rows; k++ {
+			ar, br := a.Row(k), b.Row(k)
+			for i, av := range ar {
+				if av == 0 {
+					continue
+				}
+				dr := out.data[i*n : i*n+n]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	// Parallelise over output rows (columns of a) so goroutines never write
+	// the same destination row.
+	parallelRows(m, func(lo, hi int) {
+		for k := 0; k < a.rows; k++ {
+			ar, br := a.Row(k), b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := ar[i]
+				if av == 0 {
+					continue
+				}
+				dr := out.data[i*n : i*n+n]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTB returns a @ bᵀ, computed without materialising bᵀ.
+// a is MxK, b is NxK, result is MxN. This is the shape of input gradients.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulTB %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	if a.rows*a.cols*b.rows < gemmParallelThreshold || a.rows < 2 {
+		matMulTBRows(out, a, b, 0, a.rows)
+		return out
+	}
+	parallelRows(a.rows, func(lo, hi int) { matMulTBRows(out, a, b, lo, hi) })
+	return out
+}
+
+func matMulTBRows(dst, a, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.rows; j++ {
+			br := b.Row(j)
+			var s float32
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			dr[j] = s
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker, and runs
+// fn(lo, hi) on each chunk concurrently.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the chunked parallel-for used by GEMM for callers that
+// need the same work-splitting over row ranges (e.g. per-vertex graph ops).
+func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }

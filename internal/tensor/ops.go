@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + o element-wise.
+func Add(t, o *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	AddInto(out, t, o)
+	return out
+}
+
+// AddInto stores a + b into dst. All shapes must match; dst may alias a or b.
+func AddInto(dst, a, b *Tensor) {
+	a.mustSameShape(b, "Add")
+	dst.mustSameShape(a, "Add")
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Sub")
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Mul")
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// MulInto stores a*b element-wise into dst; dst may alias a or b.
+func MulInto(dst, a, b *Tensor) {
+	a.mustSameShape(b, "Mul")
+	dst.mustSameShape(a, "Mul")
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// Scale returns t scaled by s.
+func Scale(t *Tensor, s float32) *Tensor {
+	out := New(t.rows, t.cols)
+	for i, v := range t.data {
+		out.data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func ScaleInPlace(t *Tensor, s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPY computes dst += alpha * x element-wise.
+func AXPY(dst *Tensor, alpha float32, x *Tensor) {
+	dst.mustSameShape(x, "AXPY")
+	for i := range dst.data {
+		dst.data[i] += alpha * x.data[i]
+	}
+}
+
+// AddRowVector adds the 1xC row vector v to every row of t, in place.
+func AddRowVector(t *Tensor, v *Tensor) {
+	if v.rows != 1 || v.cols != t.cols {
+		panic(fmt.Sprintf("tensor: AddRowVector %dx%d to %dx%d", v.rows, v.cols, t.rows, t.cols))
+	}
+	for i := 0; i < t.rows; i++ {
+		row := t.Row(i)
+		for j, b := range v.data {
+			row[j] += b
+		}
+	}
+}
+
+// SumRows returns the 1xC column-wise sum of t (the gradient of a broadcast
+// row-vector add).
+func SumRows(t *Tensor) *Tensor {
+	out := New(1, t.cols)
+	for i := 0; i < t.rows; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Norm returns the Frobenius norm of t.
+func Norm(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRows returns, for each row, the column index of the maximum value.
+func ArgMaxRows(t *Tensor) []int {
+	out := make([]int, t.rows)
+	for i := 0; i < t.rows; i++ {
+		row := t.Row(i)
+		best, bi := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// ReLU returns max(0, t) element-wise.
+func ReLU(t *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	for i, v := range t.data {
+		if v > 0 {
+			out.data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLUBackward returns grad masked by the forward input's sign:
+// out[i] = grad[i] if input[i] > 0 else 0.
+func ReLUBackward(grad, input *Tensor) *Tensor {
+	grad.mustSameShape(input, "ReLUBackward")
+	out := New(grad.rows, grad.cols)
+	for i, v := range input.data {
+		if v > 0 {
+			out.data[i] = grad.data[i]
+		}
+	}
+	return out
+}
+
+// LeakyReLU returns t with negative entries scaled by slope.
+func LeakyReLU(t *Tensor, slope float32) *Tensor {
+	out := New(t.rows, t.cols)
+	for i, v := range t.data {
+		if v > 0 {
+			out.data[i] = v
+		} else {
+			out.data[i] = v * slope
+		}
+	}
+	return out
+}
+
+// LeakyReLUBackward masks grad by the forward input, scaling negatives by slope.
+func LeakyReLUBackward(grad, input *Tensor, slope float32) *Tensor {
+	grad.mustSameShape(input, "LeakyReLUBackward")
+	out := New(grad.rows, grad.cols)
+	for i, v := range input.data {
+		if v > 0 {
+			out.data[i] = grad.data[i]
+		} else {
+			out.data[i] = grad.data[i] * slope
+		}
+	}
+	return out
+}
+
+// Exp returns e^t element-wise.
+func Exp(t *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	for i, v := range t.data {
+		out.data[i] = float32(math.Exp(float64(v)))
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to each row.
+func SoftmaxRows(t *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	for i := 0; i < t.rows; i++ {
+		softmaxRow(out.Row(i), t.Row(i))
+	}
+	return out
+}
+
+func softmaxRow(dst, src []float32) {
+	maxV := float32(math.Inf(-1))
+	for _, v := range src {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp(float64(v - maxV))
+		dst[j] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// LogSoftmaxRows applies a numerically stable log-softmax to each row.
+func LogSoftmaxRows(t *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	for i := 0; i < t.rows; i++ {
+		src, dst := t.Row(i), out.Row(i)
+		maxV := float32(math.Inf(-1))
+		for _, v := range src {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range src {
+			sum += math.Exp(float64(v - maxV))
+		}
+		lse := maxV + float32(math.Log(sum))
+		for j, v := range src {
+			dst[j] = v - lse
+		}
+	}
+	return out
+}
+
+// Dropout zeroes elements of t with probability p using rng, scaling the
+// survivors by 1/(1-p) (inverted dropout). It returns the output and the mask
+// of kept positions (1 or 0) needed by the backward pass.
+func Dropout(t *Tensor, p float32, rng *RNG) (out, mask *Tensor) {
+	out = New(t.rows, t.cols)
+	mask = New(t.rows, t.cols)
+	if p <= 0 {
+		out.CopyFrom(t)
+		mask.Fill(1)
+		return out, mask
+	}
+	scale := 1 / (1 - p)
+	for i, v := range t.data {
+		if rng.Float32() >= p {
+			mask.data[i] = scale
+			out.data[i] = v * scale
+		}
+	}
+	return out, mask
+}

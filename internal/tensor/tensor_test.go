@@ -1,0 +1,537 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Len() != 12 {
+		t.Fatalf("shape = %dx%d len %d", m.Rows(), m.Cols(), m.Len())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestSetAtRowMajor(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.Data()[5] != 7 {
+		t.Fatal("storage is not row-major")
+	}
+}
+
+func TestFromSliceAndFromRows(t *testing.T) {
+	m := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	n := FromRows([][]float32{{1, 2}, {3, 4}})
+	if !m.Equal(n) {
+		t.Fatalf("FromSlice %v != FromRows %v", m, n)
+	}
+}
+
+func TestFromSlicePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestRowSliceSharesStorage(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	s := m.RowSlice(1, 3)
+	if s.Rows() != 2 || s.At(0, 0) != 3 {
+		t.Fatalf("RowSlice content wrong: %v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("RowSlice does not share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	r := m.Reshape(3, 2)
+	if r.At(2, 1) != 6 || r.At(1, 0) != 3 {
+		t.Fatalf("Reshape wrong: %v", r)
+	}
+	r.Set(0, 0, 42)
+	if m.At(0, 0) != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := NewRNG(1)
+	m := RandNormal(37, 53, 0, 1, rng)
+	tr := m.Transpose()
+	if tr.Rows() != 53 || tr.Cols() != 37 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{10, 20}, {30, 40}})
+	if got := Add(a, b); !got.Equal(FromRows([][]float32{{11, 22}, {33, 44}})) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(FromRows([][]float32{{9, 18}, {27, 36}})) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !got.Equal(FromRows([][]float32{{10, 40}, {90, 160}})) {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 2); !got.Equal(FromRows([][]float32{{2, 4}, {6, 8}})) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := FromRows([][]float32{{1, 1}})
+	x := FromRows([][]float32{{2, 3}})
+	AXPY(a, 0.5, x)
+	if !a.Equal(FromRows([][]float32{{2, 2.5}})) {
+		t.Fatalf("AXPY = %v", a)
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	v := FromRows([][]float32{{10, 20}})
+	AddRowVector(m, v)
+	if !m.Equal(FromRows([][]float32{{11, 22}, {13, 24}})) {
+		t.Fatalf("AddRowVector = %v", m)
+	}
+	s := SumRows(m)
+	if !s.Equal(FromRows([][]float32{{24, 46}})) {
+		t.Fatalf("SumRows = %v", s)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromRows([][]float32{{0.1, 0.9, 0.3}, {5, -1, 2}})
+	got := ArgMaxRows(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	x := FromRows([][]float32{{-1, 0, 2}})
+	y := ReLU(x)
+	if !y.Equal(FromRows([][]float32{{0, 0, 2}})) {
+		t.Fatalf("ReLU = %v", y)
+	}
+	g := FromRows([][]float32{{5, 5, 5}})
+	gx := ReLUBackward(g, x)
+	if !gx.Equal(FromRows([][]float32{{0, 0, 5}})) {
+		t.Fatalf("ReLUBackward = %v", gx)
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	x := FromRows([][]float32{{-2, 3}})
+	y := LeakyReLU(x, 0.1)
+	if math.Abs(float64(y.At(0, 0)+0.2)) > 1e-6 || y.At(0, 1) != 3 {
+		t.Fatalf("LeakyReLU = %v", y)
+	}
+	g := FromRows([][]float32{{1, 1}})
+	gx := LeakyReLUBackward(g, x, 0.1)
+	if math.Abs(float64(gx.At(0, 0)-0.1)) > 1e-6 || gx.At(0, 1) != 1 {
+		t.Fatalf("LeakyReLUBackward = %v", gx)
+	}
+}
+
+func TestSoftmaxRowsSumsToOne(t *testing.T) {
+	rng := NewRNG(7)
+	m := RandNormal(20, 13, 0, 5, rng)
+	sm := SoftmaxRows(m)
+	for i := 0; i < sm.Rows(); i++ {
+		var s float64
+		for _, v := range sm.Row(i) {
+			if v < 0 {
+				t.Fatal("softmax produced negative probability")
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := FromRows([][]float32{{1, 2, 3}})
+	b := FromRows([][]float32{{1001, 1002, 1003}})
+	if sa, sb := SoftmaxRows(a), SoftmaxRows(b); !sa.AllClose(sb, 1e-5) {
+		t.Fatalf("softmax not shift invariant: %v vs %v", sa, sb)
+	}
+}
+
+func TestLogSoftmaxMatchesLogOfSoftmax(t *testing.T) {
+	rng := NewRNG(3)
+	m := RandNormal(8, 5, 0, 3, rng)
+	ls := LogSoftmaxRows(m)
+	sm := SoftmaxRows(m)
+	for i := range ls.Data() {
+		want := math.Log(float64(sm.Data()[i]))
+		if math.Abs(float64(ls.Data()[i])-want) > 1e-4 {
+			t.Fatalf("logsoftmax[%d]=%v want %v", i, ls.Data()[i], want)
+		}
+	}
+}
+
+func TestDropoutZeroProbIsIdentity(t *testing.T) {
+	rng := NewRNG(5)
+	x := RandNormal(4, 4, 0, 1, rng)
+	y, mask := Dropout(x, 0, rng)
+	if !y.Equal(x) {
+		t.Fatal("dropout p=0 changed input")
+	}
+	for _, v := range mask.Data() {
+		if v != 1 {
+			t.Fatal("dropout p=0 mask not all ones")
+		}
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	rng := NewRNG(11)
+	x := New(200, 200)
+	x.Fill(1)
+	y, _ := Dropout(x, 0.4, rng)
+	mean := Sum(y) / float64(y.Len())
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("inverted dropout mean = %v, want ~1", mean)
+	}
+}
+
+// naiveMatMul is the O(n^3) reference used to validate the blocked kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	out := New(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float32
+			for k := 0; k < a.Cols(); k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := NewRNG(2)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 64, 64}, {130, 70, 90}} {
+		a := RandNormal(dims[0], dims[1], 0, 1, rng)
+		b := RandNormal(dims[1], dims[2], 0, 1, rng)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !got.AllClose(want, 1e-3) {
+			t.Fatalf("MatMul %v mismatch, maxdiff %v", dims, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulTAMatchesTransposeMatMul(t *testing.T) {
+	rng := NewRNG(4)
+	a := RandNormal(31, 17, 0, 1, rng)
+	b := RandNormal(31, 23, 0, 1, rng)
+	got := MatMulTA(a, b)
+	want := MatMul(a.Transpose(), b)
+	if !got.AllClose(want, 1e-3) {
+		t.Fatalf("MatMulTA mismatch, maxdiff %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMatMulTBMatchesMatMulTranspose(t *testing.T) {
+	rng := NewRNG(6)
+	a := RandNormal(19, 29, 0, 1, rng)
+	b := RandNormal(37, 29, 0, 1, rng)
+	got := MatMulTB(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.AllClose(want, 1e-3) {
+		t.Fatalf("MatMulTB mismatch, maxdiff %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float32{1, 2, 3}, []float32{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestParallelRowsCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		seen := make([]bool, n)
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		ParallelRows(n, func(lo, hi int) {
+			<-mu
+			for i := lo; i < hi; i++ {
+				if seen[i] {
+					t.Errorf("row %d visited twice", i)
+				}
+				seen[i] = true
+			}
+			mu <- struct{}{}
+		})
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("n=%d row %d never visited", n, i)
+			}
+		}
+	}
+}
+
+// Property: (A+B)ᵀ = Aᵀ + Bᵀ on random tensors, exercising Add and Transpose.
+func TestQuickTransposeAddCommutes(t *testing.T) {
+	f := func(seed uint64, r8, c8 uint8) bool {
+		rows, cols := int(r8%16)+1, int(c8%16)+1
+		rng := NewRNG(seed)
+		a := RandNormal(rows, cols, 0, 1, rng)
+		b := RandNormal(rows, cols, 0, 1, rng)
+		return Add(a, b).Transpose().AllClose(Add(a.Transpose(), b.Transpose()), 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) = AB + AC.
+func TestQuickMatMulDistributes(t *testing.T) {
+	f := func(seed uint64, m8, k8, n8 uint8) bool {
+		m, k, n := int(m8%12)+1, int(k8%12)+1, int(n8%12)+1
+		rng := NewRNG(seed)
+		a := RandNormal(m, k, 0, 1, rng)
+		b := RandNormal(k, n, 0, 1, rng)
+		c := RandNormal(k, n, 0, 1, rng)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds produced same first value")
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	rng := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := rng.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	rng := NewRNG(13)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestXavierBounds(t *testing.T) {
+	rng := NewRNG(17)
+	w := XavierUniform(50, 70, rng)
+	a := math.Sqrt(6.0 / 120.0)
+	for _, v := range w.Data() {
+		if float64(v) < -a || float64(v) >= a {
+			t.Fatalf("xavier value %v outside [-%v, %v)", v, a, a)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	rng := NewRNG(23)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal moments off: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New(3, 5).Bytes() != 60 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := NewRNG(1)
+	x := RandNormal(256, 256, 0, 1, rng)
+	y := RandNormal(256, 256, 0, 1, rng)
+	out := New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkMatMulTA256(b *testing.B) {
+	rng := NewRNG(1)
+	x := RandNormal(256, 256, 0, 1, rng)
+	y := RandNormal(256, 256, 0, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTA(x, y)
+	}
+}
+
+func TestRowSliceBoundsPanics(t *testing.T) {
+	m := New(3, 2)
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RowSlice(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			m.RowSlice(r[0], r[1])
+		}()
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestAddIntoAliasing(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{10, 20}})
+	AddInto(a, a, b) // dst aliases a
+	if !a.Equal(FromRows([][]float32{{11, 22}})) {
+		t.Fatalf("aliased AddInto = %v", a)
+	}
+	MulInto(b, b, b) // dst aliases both
+	if !b.Equal(FromRows([][]float32{{100, 400}})) {
+		t.Fatalf("aliased MulInto = %v", b)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float32{{1, 5}})
+	b := FromRows([][]float32{{2, 3}})
+	if d := a.MaxAbsDiff(b); d != 2 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromRows([][]float32{{1, 2}})
+	if s := small.String(); s == "" || len(s) < 5 {
+		t.Fatal("small tensor String broken")
+	}
+	big := New(100, 100)
+	if s := big.String(); s != "Tensor(100x100)" {
+		t.Fatalf("big tensor String = %q", s)
+	}
+}
+
+func TestSumRowsOfEmpty(t *testing.T) {
+	m := New(0, 3)
+	s := SumRows(m)
+	if s.Rows() != 1 || s.Cols() != 3 || Norm(s) != 0 {
+		t.Fatal("SumRows of empty wrong")
+	}
+}

@@ -1,0 +1,284 @@
+package neutronstar
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLoadDatasetAndTrain(t *testing.T) {
+	ds, err := LoadDataset("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumVertices() != 2700 || ds.Name() != "cora" {
+		t.Fatalf("cora = %d vertices, name %q", ds.NumVertices(), ds.Name())
+	}
+	s, err := NewSession(ds, Config{Workers: 2, Engine: EngineHybrid, Model: ModelGCN, Seed: 1, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := s.Train(15)
+	if len(res) != 15 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[14].Loss >= res[0].Loss {
+		t.Fatalf("loss %v -> %v", res[0].Loss, res[14].Loss)
+	}
+	if res[0].Millis <= 0 || res[0].Epoch != 1 {
+		t.Fatalf("bad epoch result %+v", res[0])
+	}
+	if acc := s.Accuracy(SplitTest); acc < 0.3 {
+		t.Fatalf("test accuracy %v unexpectedly low", acc)
+	}
+}
+
+func TestLoadDatasetUnknown(t *testing.T) {
+	if _, err := LoadDataset("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(DatasetNames()) != 10 {
+		t.Fatalf("names = %v", DatasetNames())
+	}
+}
+
+func TestCustomDataset(t *testing.T) {
+	// Two triangles, one per class, homophilous features.
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{0, 3}, // one cross edge
+	}
+	features := make([][]float32, 6)
+	labels := make([]int, 6)
+	for v := range features {
+		c := v / 3
+		labels[v] = c
+		features[v] = []float32{float32(2*c - 1), float32(v)}
+	}
+	ds, err := NewDataset(6, edges, features, labels, 2, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumVertices() != 6 || ds.NumEdges() != 7 {
+		t.Fatalf("custom ds %d/%d", ds.NumVertices(), ds.NumEdges())
+	}
+	s, err := NewSession(ds, Config{Workers: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.TrainEpoch()
+	if r.Epoch != 1 {
+		t.Fatal("epoch not run")
+	}
+}
+
+func TestCustomDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(2, nil, [][]float32{{1}}, []int{0, 0}, 1, 4, 1); err == nil {
+		t.Fatal("expected feature-count error")
+	}
+	if _, err := NewDataset(1, nil, [][]float32{{1}}, []int{5}, 2, 4, 1); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	if _, err := NewDataset(2, [][2]int{{0, 9}}, [][]float32{{1}, {1}}, []int{0, 0}, 1, 4, 1); err == nil {
+		t.Fatal("expected edge-range error")
+	}
+	if _, err := NewDataset(0, nil, nil, nil, 1, 4, 1); err == nil {
+		t.Fatal("expected empty-dataset error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	for _, cfg := range []Config{
+		{Engine: "warp"},
+		{Model: "transformer"},
+		{Network: "wifi"},
+	} {
+		if _, err := NewSession(ds, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEnginesAgreeViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("citeseer")
+	losses := map[EngineKind]float64{}
+	for _, ek := range []EngineKind{EngineDepCache, EngineDepComm, EngineHybrid} {
+		s, err := NewSession(ds, Config{Workers: 3, Engine: ek, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[ek] = s.Train(2)[1].Loss
+		s.Close()
+	}
+	for ek, l := range losses {
+		diff := l - losses[EngineHybrid]
+		if diff < -1e-3 || diff > 1e-3 {
+			t.Fatalf("%s loss %v deviates from hybrid %v", ek, l, losses[EngineHybrid])
+		}
+	}
+}
+
+func TestDependencySummaryAndCacheBytes(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	s, err := NewSession(ds, Config{Workers: 4, Engine: EngineDepCache, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cached, communicated := s.DependencySummary()
+	if len(cached) != 2 {
+		t.Fatalf("layers = %d", len(cached))
+	}
+	for l := range communicated {
+		if communicated[l] != 0 {
+			t.Fatal("DepCache communicated dependencies")
+		}
+	}
+	if cached[0] == 0 || s.CacheBytes() == 0 {
+		t.Fatal("DepCache cached nothing")
+	}
+	if s.PreprocessMillis() < 0 {
+		t.Fatal("negative preprocess time")
+	}
+}
+
+func TestMetricsEnabled(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	s, err := NewSession(ds, Config{Workers: 2, Metrics: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.TrainEpoch()
+	if s.Metrics() == nil || s.Metrics().Busy(0) == 0 {
+		t.Fatal("metrics not collected")
+	}
+	s2, _ := NewSession(ds, Config{Workers: 2, Seed: 4})
+	defer s2.Close()
+	if s2.Metrics() != nil {
+		t.Fatal("metrics collected when disabled")
+	}
+}
+
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	s, err := NewSession(ds, Config{Workers: 2, Model: ModelSAGE, Seed: 6, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Train(10)
+	accTrained := s.Accuracy(SplitTest)
+	var buf bytes.Buffer
+	if err := s.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A fresh session with a different seed starts worse; loading the
+	// checkpoint restores the trained accuracy exactly.
+	s2, err := NewSession(ds, Config{Workers: 3, Model: ModelSAGE, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if acc := s2.Accuracy(SplitTest); acc != accTrained {
+		t.Fatalf("restored accuracy %v != trained %v", acc, accTrained)
+	}
+	// Training must continue cleanly after a load (replicas stayed in sync).
+	r := s2.TrainEpoch()
+	if r.Loss <= 0 {
+		t.Fatal("no loss after restore")
+	}
+}
+
+func TestSAGEViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("citeseer")
+	s, err := NewSession(ds, Config{Workers: 2, Model: ModelSAGE, Seed: 8, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := s.Train(10)
+	if res[9].Loss >= res[0].Loss {
+		t.Fatalf("SAGE did not learn: %v -> %v", res[0].Loss, res[9].Loss)
+	}
+}
+
+func TestDeepModelViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	s, err := NewSession(ds, Config{Workers: 2, Layers: 3, HiddenDim: 12, Seed: 31, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := s.Train(10)
+	if res[9].Loss >= res[0].Loss {
+		t.Fatalf("3-layer model did not learn: %v -> %v", res[0].Loss, res[9].Loss)
+	}
+	cached, _ := s.DependencySummary()
+	if len(cached) != 3 {
+		t.Fatalf("dependency summary has %d layers, want 3", len(cached))
+	}
+}
+
+func TestScheduleViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("cora")
+	s, err := NewSession(ds, Config{
+		Workers: 2, Seed: 41, LR: 0.05, ClipNorm: 5,
+		Schedule: LRSchedule{Kind: "cosine", MinLR: 0.001, Span: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := s.Train(10)
+	if res[9].Loss >= res[0].Loss {
+		t.Fatalf("scheduled facade training failed: %v -> %v", res[0].Loss, res[9].Loss)
+	}
+	if _, err := NewSession(ds, Config{Schedule: LRSchedule{Kind: "exponential"}}); err == nil {
+		t.Fatal("expected unknown-schedule error")
+	}
+}
+
+func TestTCPViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("citeseer")
+	s, err := NewSession(ds, Config{Workers: 3, TCP: true, Seed: 51, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := s.Train(6)
+	if res[5].Loss >= res[0].Loss {
+		t.Fatalf("TCP session did not learn: %v -> %v", res[0].Loss, res[5].Loss)
+	}
+}
+
+func TestDatasetDirRoundTripViaFacade(t *testing.T) {
+	ds, _ := LoadDataset("citeseer")
+	dir := t.TempDir()
+	if err := SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatasetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != ds.NumVertices() || got.NumEdges() != ds.NumEdges() {
+		t.Fatal("round trip changed the dataset")
+	}
+	// The loaded dataset must be trainable.
+	s, err := NewSession(got, Config{Workers: 2, Seed: 61, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if r := s.Train(4); r[3].Loss >= r[0].Loss {
+		t.Fatalf("loaded dataset did not train: %v -> %v", r[0].Loss, r[3].Loss)
+	}
+}
