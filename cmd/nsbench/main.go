@@ -14,23 +14,60 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"neutronstar/internal/experiments"
+	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
+	"neutronstar/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: table2 fig2a fig2b fig2c fig9 table3 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 ablations all")
-		workers = flag.Int("workers", 8, "simulated cluster size")
-		epochs  = flag.Int("epochs", 3, "measured epochs per configuration")
-		graphs  = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
-		quick   = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
+		exp       = flag.String("exp", "", "experiment: table2 fig2a fig2b fig2c fig9 table3 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 ablations all")
+		workers   = flag.Int("workers", 8, "simulated cluster size")
+		epochs    = flag.Int("epochs", 3, "measured epochs per configuration")
+		graphs    = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
+		quick     = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
+		trace     = flag.String("trace", "", "write a Chrome trace of all experiment engines to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// current names the running experiment for the debug server's /status.
+	var current atomic.Value
+	current.Store("")
+	if *debugAddr != "" {
+		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any {
+			return map[string]any{"experiment": current.Load()}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics /status /healthz /debug/pprof/)\n", srv.Addr())
+	}
+	if *trace != "" {
+		coll := metrics.NewCollector()
+		experiments.SetCollector(coll)
+		defer func() {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := coll.WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("trace written to %s\n", *trace)
+		}()
 	}
 
 	sc := experiments.DefaultScale()
@@ -54,6 +91,7 @@ func main() {
 			"ablations"}
 	}
 	for _, name := range names {
+		current.Store(name)
 		runExperiment(name, sc, *quick)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"neutronstar/internal/dataset"
 	"neutronstar/internal/graph"
+	"neutronstar/internal/obs"
 	"neutronstar/internal/partition"
 )
 
@@ -27,13 +28,17 @@ func main() {
 		importDir = flag.String("import", "", "load and describe a dataset directory")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr)
+	fail := func(err error) {
+		log.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	switch {
 	case *importDir != "":
 		ds, err := dataset.LoadDir(*importDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("%s: %s\n", ds.Spec.Name, graph.ComputeStats(ds.Graph))
 		fmt.Printf("features: %dx%d, classes: %d, train vertices: %d\n",
@@ -43,21 +48,18 @@ func main() {
 		for _, name := range append(dataset.BigGraphNames(), dataset.CitationNames()...) {
 			ds, err := dataset.LoadByName(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Println(dataset.Table2Row(ds))
 		}
 	case *dsName != "":
 		ds, err := dataset.LoadByName(*dsName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *exportDir != "" {
 			if err := ds.Save(*exportDir); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("exported %s to %s\n", *dsName, *exportDir)
 			return
@@ -69,8 +71,7 @@ func main() {
 		for _, algo := range []partition.Algorithm{partition.Chunk, partition.Metis, partition.Fennel} {
 			p, err := partition.New(algo, ds.Graph, *parts)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			q := partition.Evaluate(p, ds.Graph)
 			fmt.Printf("%-7s %d parts: cut=%d (%.1f%%) imbalance=%.2f\n",

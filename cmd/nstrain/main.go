@@ -4,38 +4,55 @@
 // Usage:
 //
 //	nstrain -dataset reddit -engine hybrid -model gcn -workers 8 -epochs 30
+//
+// With -debug-addr a live debug server exposes Prometheus metrics
+// (/metrics), a JSON session snapshot (/status), a liveness probe
+// (/healthz) and net/http/pprof while training runs:
+//
+//	nstrain -dataset reddit -epochs 100 -debug-addr :8080 &
+//	curl localhost:8080/metrics
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"strings"
 
 	"neutronstar"
+	"neutronstar/internal/obs"
 )
 
 func main() {
 	var (
-		dsName  = flag.String("dataset", "cora", "dataset name ("+strings.Join(neutronstar.DatasetNames(), ", ")+")")
-		engName = flag.String("engine", "hybrid", "engine: depcache, depcomm, hybrid")
-		model   = flag.String("model", "gcn", "model: gcn, gin, gat")
-		workers = flag.Int("workers", 4, "simulated cluster size")
-		epochs  = flag.Int("epochs", 30, "training epochs")
-		network = flag.String("network", "local", "network profile: local, ecs, ibv")
-		lr      = flag.Float64("lr", 0.01, "learning rate")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		opt     = flag.Bool("optimized", true, "enable ring/lock-free/overlap optimisations")
-		trace   = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
+		dsName    = flag.String("dataset", "cora", "dataset name ("+strings.Join(neutronstar.DatasetNames(), ", ")+")")
+		engName   = flag.String("engine", "hybrid", "engine: depcache, depcomm, hybrid")
+		model     = flag.String("model", "gcn", "model: gcn, gin, gat")
+		workers   = flag.Int("workers", 4, "simulated cluster size")
+		epochs    = flag.Int("epochs", 30, "training epochs")
+		network   = flag.String("network", "local", "network profile: local, ecs, ibv")
+		lr        = flag.Float64("lr", 0.01, "learning rate")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		opt       = flag.Bool("optimized", true, "enable ring/lock-free/overlap optimisations")
+		trace     = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
+		logJSON   = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	ds, err := neutronstar.LoadDataset(*dsName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	log := obs.NewLogger(os.Stdout).WithJSON(*logJSON)
+	log.SetLevel(obs.ParseLevel(*logLevel))
+	fail := func(err error) {
+		log.Error("fatal", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset %s: %d vertices, %d edges\n", ds.Name(), ds.NumVertices(), ds.NumEdges())
+
+	ds, err := neutronstar.LoadDataset(*dsName)
+	if err != nil {
+		fail(err)
+	}
+	log.Info("dataset loaded", "dataset", ds.Name(),
+		"vertices", ds.NumVertices(), "edges", ds.NumEdges())
 
 	s, err := neutronstar.NewSession(ds, neutronstar.Config{
 		Workers: *workers,
@@ -43,42 +60,54 @@ func main() {
 		Model:   neutronstar.ModelKind(*model),
 		Network: neutronstar.NetworkKind(*network),
 		Ring:    *opt, LockFree: *opt, Overlap: *opt,
-		LR:      *lr,
-		Seed:    *seed,
-		Metrics: *trace != "",
+		LR:   *lr,
+		Seed: *seed,
+		// The debug server's /status busy fractions need the collector too.
+		Metrics: *trace != "" || *debugAddr != "",
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer s.Close()
 
+	if *debugAddr != "" {
+		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any { return s.Status() })
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		log.Info("debug server listening", "addr", srv.Addr(),
+			"endpoints", "/metrics /status /healthz /debug/pprof/")
+	}
+
 	cached, communicated := s.DependencySummary()
 	for l := range cached {
-		fmt.Printf("layer %d dependencies: %d cached, %d communicated\n", l+1, cached[l], communicated[l])
+		log.Info("dependency plan", "layer", l+1,
+			"cached", cached[l], "communicated", communicated[l])
 	}
-	fmt.Printf("replica storage: %.1f KB, planning time %.1f ms\n",
-		float64(s.CacheBytes())/1024, s.PreprocessMillis())
+	log.Info("planning done", "replica_kb", float64(s.CacheBytes())/1024,
+		"planning_ms", s.PreprocessMillis())
 
-	for _, ep := range s.Train(*epochs) {
+	for i := 0; i < *epochs; i++ {
+		ep := s.TrainEpoch()
 		if ep.Epoch%5 == 0 || ep.Epoch == 1 || ep.Epoch == *epochs {
-			fmt.Printf("epoch %3d  loss %.4f  (%.0f ms)\n", ep.Epoch, ep.Loss, ep.Millis)
+			log.Info("epoch done", "epoch", ep.Epoch, "loss", ep.Loss, "ms", ep.Millis)
+		} else {
+			log.Debug("epoch done", "epoch", ep.Epoch, "loss", ep.Loss, "ms", ep.Millis)
 		}
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := s.Metrics().WriteChromeTrace(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		f.Close()
-		fmt.Printf("trace written to %s\n", *trace)
+		log.Info("trace written", "path", *trace)
 	}
-	fmt.Printf("train accuracy: %.4f\n", s.Accuracy(neutronstar.SplitTrain))
-	fmt.Printf("val accuracy:   %.4f\n", s.Accuracy(neutronstar.SplitVal))
-	fmt.Printf("test accuracy:  %.4f\n", s.Accuracy(neutronstar.SplitTest))
+	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
+		"val", s.Accuracy(neutronstar.SplitVal),
+		"test", s.Accuracy(neutronstar.SplitTest))
 }

@@ -3,6 +3,7 @@ package autograd
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"neutronstar/internal/tensor"
 )
@@ -17,11 +18,13 @@ import (
 // appear many times (a vertex feeds all its out-edges); the backward pass
 // scatter-adds edge gradients back to the vertex rows.
 func (t *Tape) Gather(x *Variable, idx []int32) *Variable {
+	start := time.Now()
 	cols := x.Value.Cols()
 	out := tensor.New(len(idx), cols)
 	for i, src := range idx {
 		copy(out.Row(i), x.Value.Row(int(src)))
 	}
+	obsGatherSeconds.Observe(time.Since(start).Seconds())
 	return t.record(out, "gather", func(grad *tensor.Tensor) {
 		if !x.requiresGrad {
 			return
@@ -45,6 +48,7 @@ func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variab
 	if len(idx) != edges.Value.Rows() {
 		panic(fmt.Sprintf("autograd: ScatterAddRows %d indices for %d edges", len(idx), edges.Value.Rows()))
 	}
+	start := time.Now()
 	cols := edges.Value.Cols()
 	out := tensor.New(numRows, cols)
 	for e, d := range idx {
@@ -54,6 +58,7 @@ func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variab
 			dst[j] += v
 		}
 	}
+	obsScatterSeconds.Observe(time.Since(start).Seconds())
 	return t.record(out, "scatter_add", func(grad *tensor.Tensor) {
 		if !edges.requiresGrad {
 			return

@@ -1,6 +1,10 @@
 package comm
 
-import "neutronstar/internal/tensor"
+import (
+	"neutronstar/internal/metrics"
+	"neutronstar/internal/obs"
+	"neutronstar/internal/tensor"
+)
 
 // RingAllReduce sums buf element-wise across all m workers in place, using
 // the classic two-phase ring: m-1 scatter-reduce steps then m-1 all-gather
@@ -12,7 +16,11 @@ import "neutronstar/internal/tensor"
 // Message tagging: Kind=KindAllReduce, Epoch=tag, Layer=step, Seq=chunk.
 // Callers must choose tags unique per collective (e.g. a global step
 // counter) so concurrent epochs cannot alias.
-func RingAllReduce(f Network, id, m, tag int, buf []float32) {
+//
+// coll (may be nil) records one structural ring_step span per step on the
+// caller's timeline, making skew between ring neighbours visible in traces
+// without altering utilisation accounting.
+func RingAllReduce(f Network, id, m, tag int, buf []float32, coll *metrics.Collector) {
 	if m <= 1 {
 		return
 	}
@@ -38,6 +46,7 @@ func RingAllReduce(f Network, id, m, tag int, buf []float32) {
 	// Scatter-reduce: after m-1 steps worker id holds the fully reduced
 	// chunk (id+1) mod m.
 	for step := 0; step < m-1; step++ {
+		sp := coll.Group(id, "ring_step", obs.Int("step", step), obs.String("phase", "scatter_reduce"))
 		cSend := (id - step + 2*m) % m
 		send(step, cSend, chunk(cSend))
 		cRecv := (id - step - 1 + 2*m) % m
@@ -46,13 +55,16 @@ func RingAllReduce(f Network, id, m, tag int, buf []float32) {
 		for k, v := range msg.Rows.Data() {
 			dst[k] += v
 		}
+		sp.End()
 	}
 	// All-gather: circulate the reduced chunks.
 	for step := 0; step < m-1; step++ {
+		sp := coll.Group(id, "ring_step", obs.Int("step", m-1+step), obs.String("phase", "all_gather"))
 		cSend := (id + 1 - step + 2*m) % m
 		send(m-1+step, cSend, chunk(cSend))
 		cRecv := (id - step + 2*m) % m
 		msg := mb.Wait(KindAllReduce, tag, m-1+step, cRecv, prev)
 		copy(chunk(cRecv), msg.Rows.Data())
+		sp.End()
 	}
 }

@@ -36,6 +36,24 @@ const (
 	KindBlock
 )
 
+// String returns the kind's protocol name (used as a metric label).
+func (k MsgKind) String() string {
+	switch k {
+	case KindRep:
+		return "rep"
+	case KindGrad:
+		return "grad"
+	case KindAllReduce:
+		return "allreduce"
+	case KindSample:
+		return "sample"
+	case KindBlock:
+		return "block"
+	default:
+		return "unknown"
+	}
+}
+
 // Message is one fabric transfer. Vertices names the global vertex ids the
 // tensor rows correspond to (may be nil when both sides share the layout).
 type Message struct {
@@ -48,6 +66,9 @@ type Message struct {
 	Seq      int
 	Vertices []int32
 	Rows     *tensor.Tensor
+	// sentAt is stamped by the fabric at Send for latency accounting; it is
+	// process-local and never serialised.
+	sentAt time.Time
 }
 
 // WireBytes returns the simulated on-wire size of the message.
@@ -159,6 +180,7 @@ func (f *Fabric) Send(msg *Message) {
 	default:
 	}
 	f.coll.AddSent(int64(msg.WireBytes()))
+	recordSend(msg)
 	select {
 	case f.egress[msg.From] <- msg:
 	case <-f.closed:
@@ -196,6 +218,7 @@ func (f *Fabric) ingressLoop(i int) {
 			}
 			f.pace(msg.WireBytes())
 			f.coll.AddReceived(int64(msg.WireBytes()))
+			recordDelivered(i, msg)
 			f.inbox[i].deliver(msg)
 		case <-f.closed:
 			return

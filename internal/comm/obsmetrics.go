@@ -1,0 +1,44 @@
+package comm
+
+import (
+	"strconv"
+	"time"
+
+	"neutronstar/internal/obs"
+)
+
+// Process-wide traffic metrics, registered on the default registry so every
+// fabric in the process feeds the same /metrics endpoint. Registration is
+// idempotent, so building multiple engines is safe.
+var (
+	obsSentBytes = obs.Default().CounterVec("ns_comm_sent_bytes_total",
+		"Wire bytes sent, by destination worker.", "to")
+	obsRecvBytes = obs.Default().CounterVec("ns_comm_recv_bytes_total",
+		"Wire bytes received, by receiving worker.", "worker")
+	obsSentMsgs = obs.Default().CounterVec("ns_comm_sent_messages_total",
+		"Messages sent, by protocol kind.", "kind")
+	obsMsgBytes = obs.Default().Histogram("ns_comm_message_bytes",
+		"Wire size of sent messages.", obs.SizeBuckets)
+	obsSendLatency = obs.Default().Histogram("ns_comm_send_latency_seconds",
+		"Time from Send to mailbox delivery (in-process) or socket write (TCP).",
+		obs.TimeBuckets)
+)
+
+// recordSend stamps the message and updates the send-side counters; both
+// fabrics call it for every non-self send.
+func recordSend(msg *Message) {
+	msg.sentAt = time.Now()
+	n := float64(msg.WireBytes())
+	obsSentBytes.With(strconv.Itoa(msg.To)).Add(n)
+	obsSentMsgs.With(msg.Kind.String()).Inc()
+	obsMsgBytes.Observe(n)
+}
+
+// recordDelivered observes the send-to-delivery latency and the
+// receive-side byte counter for worker w.
+func recordDelivered(w int, msg *Message) {
+	if !msg.sentAt.IsZero() {
+		obsSendLatency.Observe(time.Since(msg.sentAt).Seconds())
+	}
+	obsRecvBytes.With(strconv.Itoa(w)).Add(float64(msg.WireBytes()))
+}

@@ -173,6 +173,7 @@ func (f *TCPFabric) Send(msg *Message) {
 		return
 	}
 	f.coll.AddSent(int64(msg.WireBytes()))
+	recordSend(msg)
 	select {
 	case f.out[msg.From][msg.To] <- msg:
 	case <-f.closed:
@@ -197,6 +198,11 @@ func (f *TCPFabric) writeLoop(owner, peer int, conn net.Conn) {
 			if err := encodeMessage(w, msg); err != nil {
 				return // connection torn down
 			}
+			// The decoded copy on the receive side carries no send stamp, so
+			// TCP send latency is measured up to the socket write.
+			if !msg.sentAt.IsZero() {
+				obsSendLatency.Observe(time.Since(msg.sentAt).Seconds())
+			}
 			// Flush when the queue drains so batches coalesce.
 			if len(f.out[owner][peer]) == 0 {
 				if err := w.Flush(); err != nil {
@@ -219,6 +225,7 @@ func (f *TCPFabric) readLoop(owner int, conn net.Conn) {
 			return // closed or corrupt; teardown path
 		}
 		f.coll.AddReceived(int64(msg.WireBytes()))
+		recordDelivered(owner, msg)
 		f.inbox[owner].deliver(msg)
 	}
 }

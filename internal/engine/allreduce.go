@@ -4,6 +4,7 @@ import (
 	"neutronstar/internal/comm"
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
+	"neutronstar/internal/obs"
 )
 
 // allReduceGrads sums every parameter gradient across workers with a ring
@@ -16,20 +17,21 @@ func (ws *workerState) allReduceGrads(epoch int, params []*nn.Param) {
 		return
 	}
 	coll := ws.eng.opts.Collector
-	stop := coll.Track(ws.id, metrics.Comm)
-	defer stop()
 
 	total := 0
 	for _, p := range params {
 		total += p.Grad.Len()
 	}
+	sp := coll.Span(ws.id, metrics.Comm, "allreduce",
+		obs.Int("epoch", epoch), obs.Int("bytes", 4*total))
+	defer sp.End()
 	buf := make([]float32, total)
 	off := 0
 	for _, p := range params {
 		copy(buf[off:], p.Grad.Data())
 		off += p.Grad.Len()
 	}
-	comm.RingAllReduce(ws.eng.fabric, ws.id, m, epoch, buf)
+	comm.RingAllReduce(ws.eng.fabric, ws.id, m, epoch, buf, coll)
 	off = 0
 	for _, p := range params {
 		copy(p.Grad.Data(), buf[off:off+p.Grad.Len()])

@@ -215,6 +215,16 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		fabric:         fabric,
 		PreprocessTime: preprocess,
 	}
+	cached, comms := 0, 0
+	for _, d := range decs {
+		cached += d.NumCached()
+		comms += d.NumComm()
+	}
+	if cached+comms > 0 {
+		obsCacheRatio.Set(float64(cached) / float64(cached+comms))
+	} else {
+		obsCacheRatio.Set(0)
+	}
 	e.states = make([]*workerState, opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		model, err := nn.NewModel(opts.Model, dims, opts.Dropout, opts.Seed+7)
@@ -290,6 +300,9 @@ func (e *Engine) RunEpoch() EpochStats {
 	if count > 0 {
 		st.Loss = lossSum / float64(count)
 	}
+	obsEpoch.Set(float64(st.Epoch))
+	obsLoss.Set(st.Loss)
+	obsEpochSeconds.Set(st.Duration.Seconds())
 	return st
 }
 

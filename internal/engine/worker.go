@@ -5,6 +5,7 @@ import (
 	"neutronstar/internal/comm"
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
+	"neutronstar/internal/obs"
 	"neutronstar/internal/tensor"
 )
 
@@ -93,6 +94,9 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 	L := len(ws.plan.layers)
 	runs := make([]layerRun, L)
 	coll := ws.eng.opts.Collector
+	eg := coll.Group(ws.id, "epoch",
+		obs.Int("epoch", epoch), obs.String("mode", string(ws.eng.opts.Mode)))
+	defer eg.End()
 
 	// ---- Forward: synchronize-compute per layer ----
 	prevVal := ws.feat
@@ -103,7 +107,7 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 
 	// ---- Loss on owned rows of the final layer ----
 	last := &runs[L-1]
-	stopC := coll.Track(ws.id, metrics.Compute)
+	lossSp := coll.Span(ws.id, metrics.Compute, "loss_backward", obs.Int("epoch", epoch))
 	tape := last.tape
 	ownedRows := len(ws.plan.owned)
 	logits := last.out
@@ -122,7 +126,7 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 		seed.Set(0, 0, float32(n)/float32(ws.totalLabeled))
 	}
 	tape.Backward(loss, seed)
-	stopC()
+	lossSp.End()
 
 	// ---- Backward: compute-synchronize per layer ----
 	for l := L; l >= 1; l-- {
@@ -130,12 +134,12 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 	}
 
 	// ---- Parameter update: collect, synchronise, step ----
-	stopC = coll.Track(ws.id, metrics.Compute)
+	collectSp := coll.Span(ws.id, metrics.Compute, "collect_grads")
 	params := ws.model.Params()
 	for _, p := range params {
 		p.CollectGrad()
 	}
-	stopC()
+	collectSp.End()
 	if sched := ws.eng.opts.Scheduler; sched != nil {
 		nn.SetLR(ws.opt, sched.LR(epoch))
 	}
@@ -160,6 +164,8 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 	lp := &ws.plan.layers[l-1]
 	layer := ws.model.Layers[l-1]
 	tape := autograd.NewTape()
+	lg := coll.Group(ws.id, "layer", obs.Int("layer", l))
+	defer lg.End()
 
 	sendDone := make(chan struct{})
 	send := func() {
@@ -189,18 +195,20 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 	zPrev := hPrev
 	pt, hasPT := layer.(nn.PreTransformer)
 	if hasPT {
-		stop := coll.Track(ws.id, metrics.Compute)
+		sp := coll.Span(ws.id, metrics.Compute, "pre_transform", obs.Int("layer", l))
 		zPrev = pt.PreTransform(tape, hPrev, training, ws.rng)
-		stop()
+		sp.End()
 	}
 
 	// Cached (DepCache) block: all sources are local, so it runs while the
 	// mirror exchange is in flight — the overlap of Fig. 8.
 	var outCached *autograd.Variable
 	if lp.cached.numDst() > 0 {
-		stop := coll.Track(ws.id, metrics.Compute)
+		depCacheHits.Add(float64(lp.cached.numDst()))
+		sp := coll.Span(ws.id, metrics.Compute, "compute_cached",
+			obs.Int("layer", l), obs.Int("rows", lp.cached.numDst()))
 		outCached = ws.runBlock(tape, layer, &lp.cached, zPrev, zPrev, training)
-		stop()
+		sp.End()
 	}
 
 	// Receive mirror chunks; assemble the received row block.
@@ -208,7 +216,10 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 	zAll := zPrev
 	numRecv := lp.numHAllRows - lp.numPrevRows
 	if numRecv > 0 {
-		stop := coll.Track(ws.id, metrics.Comm)
+		depCacheMisses.Add(float64(numRecv))
+		sp := coll.Span(ws.id, metrics.Comm, "gather_dep_nbr",
+			obs.Int("layer", l), obs.Int("rows", numRecv))
+		recvBytes := 0
 		recvVal := tensor.New(numRecv, layer.InDim())
 		for _, j := range ws.peerOrder() {
 			verts := lp.recv[j]
@@ -218,6 +229,7 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 			base := int(lp.recvOffset[j]) - lp.numPrevRows
 			if ws.eng.opts.Broadcast {
 				msg := ws.mb.Wait(comm.KindBlock, epoch, l, 0, j)
+				recvBytes += msg.WireBytes()
 				for r, v := range verts {
 					idx := searchVertex(msg.Vertices, v)
 					copy(recvVal.Row(base+r), msg.Rows.Row(idx))
@@ -225,29 +237,32 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 				continue
 			}
 			msg := ws.mb.Wait(comm.KindRep, epoch, l, 0, j)
+			recvBytes += msg.WireBytes()
 			for r := range verts {
 				copy(recvVal.Row(base+r), msg.Rows.Row(r))
 			}
 		}
-		stop()
+		sp.SetAttrs(obs.Int("bytes", recvBytes))
+		sp.End()
 		hRecv = tape.Leaf(recvVal, true, "h_recv")
 		zRecv := hRecv
 		if hasPT {
-			stopC := coll.Track(ws.id, metrics.Compute)
+			spC := coll.Span(ws.id, metrics.Compute, "pre_transform", obs.Int("layer", l))
 			zRecv = pt.PreTransform(tape, hRecv, training, ws.rng)
-			stopC()
+			spC.End()
 		}
 		zAll = tape.ConcatRows(zPrev, zRecv)
 	}
 
 	// Owned block: sources may live anywhere in zAll.
-	stop := coll.Track(ws.id, metrics.Compute)
+	sp := coll.Span(ws.id, metrics.Compute, "compute_owned",
+		obs.Int("layer", l), obs.Int("rows", lp.owned.numDst()))
 	outOwned := ws.runBlock(tape, layer, &lp.owned, zAll, zPrev, training)
 	out := outOwned
 	if outCached != nil {
 		out = tape.ConcatRows(outOwned, outCached)
 	}
-	stop()
+	sp.End()
 
 	<-sendDone
 	return layerRun{tape: tape, hPrev: hPrev, hRecv: hRecv, out: out}
@@ -285,9 +300,11 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 	// in-flight mirror exchange.
 	var outCached *autograd.Variable
 	if lp.cached.numDst() > 0 {
-		stop := coll.Track(ws.id, metrics.Compute)
+		depCacheHits.Add(float64(lp.cached.numDst()))
+		sp := coll.Span(ws.id, metrics.Compute, "compute_cached",
+			obs.Int("layer", l), obs.Int("rows", lp.cached.numDst()))
 		outCached = ws.runBlock(tape, layer, &lp.cached, hPrev, hPrev, training)
-		stop()
+		sp.End()
 	}
 
 	numDst := lp.owned.numDst()
@@ -298,10 +315,11 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 		if g.peer < 0 {
 			// Local region: aggregate immediately.
 			if len(g.srcLocal) > 0 {
-				stop := coll.Track(ws.id, metrics.Compute)
+				sp := coll.Span(ws.id, metrics.Compute, "edge_stage",
+					obs.Int("layer", l), obs.Int("peer", -1))
 				partials = append(partials,
 					sd.EdgeStage(tape, tape.Gather(hPrev, g.srcLocal), g.edgeNorm, g.dstRow, numDst))
-				stop()
+				sp.End()
 			}
 			continue
 		}
@@ -315,21 +333,26 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 		if len(verts) == 0 {
 			continue
 		}
-		stop := coll.Track(ws.id, metrics.Comm)
+		depCacheMisses.Add(float64(len(verts)))
+		sp := coll.Span(ws.id, metrics.Comm, "recv_chunk",
+			obs.Int("layer", l), obs.Int("peer", j), obs.Int("rows", len(verts)))
 		msg := ws.mb.Wait(comm.KindRep, epoch, l, 0, j)
-		stop()
+		sp.SetAttrs(obs.Int("bytes", msg.WireBytes()))
+		sp.End()
 		leaf := tape.Leaf(msg.Rows, true, "h_chunk")
 		leaves = append(leaves, chunkLeaf{peer: j, v: leaf})
 		if g == nil {
 			continue // received for availability but no owned edge uses it
 		}
-		stopC := coll.Track(ws.id, metrics.Compute)
+		spC := coll.Span(ws.id, metrics.Compute, "edge_stage",
+			obs.Int("layer", l), obs.Int("peer", j))
 		partials = append(partials,
 			sd.EdgeStage(tape, tape.Gather(leaf, g.srcLocal), g.edgeNorm, g.dstRow, numDst))
-		stopC()
+		spC.End()
 	}
 
-	stop := coll.Track(ws.id, metrics.Compute)
+	vertexSp := coll.Span(ws.id, metrics.Compute, "vertex_stage",
+		obs.Int("layer", l), obs.Int("rows", numDst))
 	var agg *autograd.Variable
 	for _, p := range partials {
 		if agg == nil {
@@ -347,7 +370,7 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 	if outCached != nil {
 		out = tape.ConcatRows(outOwned, outCached)
 	}
-	stop()
+	vertexSp.End()
 	return layerRun{tape: tape, hPrev: hPrev, out: out, chunkLeaves: leaves}
 }
 
@@ -382,17 +405,20 @@ func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor) {
 		if len(verts) == 0 {
 			continue
 		}
-		stop := coll.Track(ws.id, metrics.Comm)
+		sp := coll.Span(ws.id, metrics.Comm, "send_dep_nbr",
+			obs.Int("layer", l), obs.Int("peer", j))
 		if ws.eng.opts.Broadcast {
 			// ROC-style: ship the whole owned block; the receiver picks the
 			// rows it needs.
-			ws.eng.fabric.Send(&comm.Message{
+			msg := &comm.Message{
 				From: ws.id, To: j, Kind: comm.KindBlock,
 				Epoch: epoch, Layer: l,
 				Vertices: ws.plan.owned,
 				Rows:     prevVal.RowSlice(0, len(ws.plan.owned)),
-			})
-			stop()
+			}
+			sp.SetAttrs(obs.Int("bytes", msg.WireBytes()))
+			ws.eng.fabric.Send(msg)
+			sp.End()
 			continue
 		}
 		buf := comm.NewEnqueuer(ws.eng.opts.LockFree, verts, prevVal.Cols())
@@ -403,11 +429,13 @@ func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor) {
 			}
 		})
 		rows, ids := buf.Finish()
-		ws.eng.fabric.Send(&comm.Message{
+		msg := &comm.Message{
 			From: ws.id, To: j, Kind: comm.KindRep,
 			Epoch: epoch, Layer: l, Vertices: ids, Rows: rows,
-		})
-		stop()
+		}
+		sp.SetAttrs(obs.Int("bytes", msg.WireBytes()))
+		ws.eng.fabric.Send(msg)
+		sp.End()
 	}
 }
 
@@ -435,6 +463,8 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 	lp := &ws.plan.layers[l-1]
 	run := &runs[l-1]
 	coll := ws.eng.opts.Collector
+	bg := coll.Group(ws.id, "backward", obs.Int("layer", l))
+	defer bg.End()
 
 	// Seed: for the top layer the loss already back-propagated on the same
 	// tape, so out.Grad is populated; for lower layers assemble the seed
@@ -448,14 +478,14 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 		// Mirror gradients for my masters sent at layer l+1 arrive from
 		// every peer I sent rows to.
 		ws.receiveMirrorGrads(epoch, l+1, seed)
-		stop := coll.Track(ws.id, metrics.Compute)
+		sp := coll.Span(ws.id, metrics.Compute, "tape_backward", obs.Int("layer", l))
 		run.tape.Backward(run.out, seed)
-		stop()
+		sp.End()
 	}
 	// Post mirror gradients of chunk-pipelined leaves (one message per peer
 	// chunk) — except layer 1, whose inputs are static features.
 	if len(run.chunkLeaves) > 0 && l > 1 {
-		stop := coll.Track(ws.id, metrics.Comm)
+		sp := coll.Span(ws.id, metrics.Comm, "post_to_dep_nbr", obs.Int("layer", l))
 		for _, cl := range run.chunkLeaves {
 			verts := lp.recv[cl.peer]
 			grad := cl.v.Grad
@@ -467,7 +497,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 				Epoch: epoch, Layer: l, Vertices: verts, Rows: grad,
 			})
 		}
-		stop()
+		sp.End()
 	}
 	// Post mirror gradients of this layer's received rows to their masters
 	// — except layer 1, whose inputs are static features.
@@ -476,7 +506,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 		if grad == nil {
 			grad = tensor.New(run.hRecv.Value.Rows(), run.hRecv.Value.Cols())
 		}
-		stop := coll.Track(ws.id, metrics.Comm)
+		sp := coll.Span(ws.id, metrics.Comm, "post_to_dep_nbr", obs.Int("layer", l))
 		for _, j := range ws.peerOrder() {
 			verts := lp.recv[j]
 			if len(verts) == 0 {
@@ -504,7 +534,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 				Epoch: epoch, Layer: l, Vertices: verts, Rows: rows,
 			})
 		}
-		stop()
+		sp.End()
 	}
 }
 
@@ -523,8 +553,10 @@ func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor) {
 		if len(verts) == 0 {
 			continue
 		}
-		stop := coll.Track(ws.id, metrics.Comm)
+		sp := coll.Span(ws.id, metrics.Comm, "recv_mirror_grads",
+			obs.Int("layer", l), obs.Int("peer", j))
 		msg := ws.mb.Wait(comm.KindGrad, epoch, l, 0, j)
+		sp.SetAttrs(obs.Int("bytes", msg.WireBytes()))
 		if ws.eng.opts.Broadcast {
 			// Full-width block aligned with my owned rows (which are the
 			// first rows of every layout).
@@ -535,7 +567,7 @@ func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor) {
 					dst[c] += g
 				}
 			}
-			stop()
+			sp.End()
 			continue
 		}
 		for r, v := range verts {
@@ -545,6 +577,6 @@ func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor) {
 				dst[c] += g
 			}
 		}
-		stop()
+		sp.End()
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"neutronstar/internal/comm"
 	"neutronstar/internal/dataset"
 	"neutronstar/internal/engine"
+	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
 )
 
@@ -76,9 +77,21 @@ func newRow(label string, kv ...any) Row {
 	return r
 }
 
+// defaultCollector, when set via SetCollector, is attached to every engine
+// an experiment builds that does not bring its own collector, so a whole
+// nsbench run can be traced with one -trace flag.
+var defaultCollector *metrics.Collector
+
+// SetCollector installs a collector that epochMillis-driven experiments
+// record spans into. Pass nil to detach.
+func SetCollector(c *metrics.Collector) { defaultCollector = c }
+
 // epochMillis builds the engine, runs one warmup epoch plus `epochs`
 // measured epochs, and returns the mean per-epoch wall time in milliseconds.
 func epochMillis(ds *dataset.Dataset, opts engine.Options, epochs int) float64 {
+	if opts.Collector == nil {
+		opts.Collector = defaultCollector
+	}
 	e, err := engine.NewEngine(ds, opts)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -3,10 +3,17 @@
 // compute and communication phases with Track calls; the collector
 // post-processes the recorded intervals into time-bucketed utilisation
 // series, the same quantity the paper samples every 100 ms.
+//
+// Since the observability rework, the collector is a thin classification
+// layer over an obs.Tracer: every tracked interval is a named span carrying
+// its Kind as the span class, and structural spans (epochs, layers — class
+// obs.ClassNone) organise those intervals into a hierarchy without
+// perturbing the utilisation series. BuildSeries and Busy only consume
+// spans whose class is a valid Kind, so adding structural or foreign-class
+// spans to the same tracer never changes Figure-13 numbers.
 package metrics
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"neutronstar/internal/obs"
 )
 
 // Kind labels what a worker was doing during a tracked interval.
@@ -45,25 +54,17 @@ func (k Kind) String() string {
 	}
 }
 
-type interval struct {
-	worker   int
-	kind     Kind
-	from, to time.Duration // offsets from collector start
-}
-
-// Collector accumulates intervals and byte counters. The zero value is not
+// Collector accumulates spans and byte counters. The zero value is not
 // usable; call NewCollector. A nil *Collector is legal everywhere and makes
 // every method a no-op, so instrumentation can stay in place unconditionally.
 type Collector struct {
-	mu        sync.Mutex
-	startOnce sync.Once
-	start     time.Time
-	intervals []interval
+	tr *obs.Tracer
 
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
 	msgsSent  atomic.Int64
-	// recvStamps records (offset, bytes) pairs for network-rate series.
+	// recvStamps records (offset, bytes) pairs for network-rate series,
+	// stamped on the tracer's clock so spans and rate curves align.
 	recvMu     sync.Mutex
 	recvStamps []recvStamp
 }
@@ -75,11 +76,23 @@ type recvStamp struct {
 
 // NewCollector returns an empty collector. Its clock starts at the first
 // tracked event.
-func NewCollector() *Collector { return &Collector{} }
+func NewCollector() *Collector { return &Collector{tr: obs.NewTracer()} }
 
-func (c *Collector) now() time.Duration {
-	c.startOnce.Do(func() { c.start = time.Now() })
-	return time.Since(c.start)
+// Tracer exposes the underlying span tracer so callers can open structural
+// spans (epochs, layers) on the same timeline. Nil-safe.
+func (c *Collector) Tracer() *obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tr
+}
+
+// Elapsed returns the time since the collector's first event.
+func (c *Collector) Elapsed() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.tr.Now()
 }
 
 // Track records the start of an interval of the given kind on worker w and
@@ -90,13 +103,26 @@ func (c *Collector) Track(w int, kind Kind) func() {
 	if c == nil {
 		return func() {}
 	}
-	from := c.now()
-	return func() {
-		to := c.now()
-		c.mu.Lock()
-		c.intervals = append(c.intervals, interval{worker: w, kind: kind, from: from, to: to})
-		c.mu.Unlock()
+	sp := c.tr.Start(w, int(kind), kind.String())
+	return sp.End
+}
+
+// Span opens a named, attributed busy interval of the given kind on worker
+// w's timeline. It counts toward the kind's utilisation exactly like Track.
+func (c *Collector) Span(w int, kind Kind, name string, attrs ...obs.Attr) *obs.Span {
+	if c == nil {
+		return nil
 	}
+	return c.tr.Start(w, int(kind), name, attrs...)
+}
+
+// Group opens a structural span (an epoch, a layer) that organises busy
+// intervals in the trace without itself counting as busy time.
+func (c *Collector) Group(w int, name string, attrs ...obs.Attr) *obs.Span {
+	if c == nil {
+		return nil
+	}
+	return c.tr.Start(w, obs.ClassNone, name, attrs...)
 }
 
 // AddSent records n payload bytes leaving any worker.
@@ -114,7 +140,7 @@ func (c *Collector) AddReceived(n int64) {
 		return
 	}
 	c.bytesRecv.Add(n)
-	at := c.now()
+	at := c.tr.Now()
 	c.recvMu.Lock()
 	c.recvStamps = append(c.recvStamps, recvStamp{at: at, bytes: n})
 	c.recvMu.Unlock()
@@ -144,20 +170,40 @@ func (c *Collector) MessagesSent() int64 {
 	return c.msgsSent.Load()
 }
 
+// kindOf maps a span to its Kind, or false for structural / foreign spans.
+func kindOf(sp obs.SpanData) (Kind, bool) {
+	if sp.Class < 0 || sp.Class >= int(numKinds) {
+		return 0, false
+	}
+	return Kind(sp.Class), true
+}
+
 // Busy returns the total busy time of the given kind summed over workers.
 func (c *Collector) Busy(kind Kind) time.Duration {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var total time.Duration
-	for _, iv := range c.intervals {
-		if iv.kind == kind {
-			total += iv.to - iv.from
+	for _, sp := range c.tr.Snapshot() {
+		if k, ok := kindOf(sp); ok && k == kind {
+			total += sp.Duration()
 		}
 	}
 	return total
+}
+
+// BusyByWorker returns each worker's busy time of the given kind.
+func (c *Collector) BusyByWorker(kind Kind) map[int]time.Duration {
+	if c == nil {
+		return nil
+	}
+	out := make(map[int]time.Duration)
+	for _, sp := range c.tr.Snapshot() {
+		if k, ok := kindOf(sp); ok && k == kind {
+			out[sp.Worker] += sp.Duration()
+		}
+	}
+	return out
 }
 
 // Series is a time-bucketed utilisation report.
@@ -174,24 +220,23 @@ type Series struct {
 func (s *Series) NumBuckets() int { return len(s.NetBytesPerSec) }
 
 // BuildSeries buckets the recorded intervals into fixed windows across
-// numWorkers workers.
+// numWorkers workers. An empty (but non-nil) collector yields a single
+// all-zero bucket; zero-duration intervals contribute nothing (the
+// per-bucket overlap hi-lo is empty), but still extend the series end.
 func (c *Collector) BuildSeries(bucket time.Duration, numWorkers int) *Series {
 	if c == nil || numWorkers == 0 {
 		return &Series{Bucket: bucket, Util: make([][]float64, numKinds)}
 	}
-	c.mu.Lock()
-	intervals := make([]interval, len(c.intervals))
-	copy(intervals, c.intervals)
-	c.mu.Unlock()
+	spans := c.tr.Snapshot()
 	c.recvMu.Lock()
 	stamps := make([]recvStamp, len(c.recvStamps))
 	copy(stamps, c.recvStamps)
 	c.recvMu.Unlock()
 
 	var end time.Duration
-	for _, iv := range intervals {
-		if iv.to > end {
-			end = iv.to
+	for _, sp := range spans {
+		if _, ok := kindOf(sp); ok && sp.End > end {
+			end = sp.End
 		}
 	}
 	for _, st := range stamps {
@@ -204,12 +249,16 @@ func (c *Collector) BuildSeries(bucket time.Duration, numWorkers int) *Series {
 	for k := range s.Util {
 		s.Util[k] = make([]float64, n)
 	}
-	for _, iv := range intervals {
-		for b := int(iv.from / bucket); b <= int(iv.to/bucket) && b < n; b++ {
-			lo := max(iv.from, time.Duration(b)*bucket)
-			hi := min(iv.to, time.Duration(b+1)*bucket)
+	for _, sp := range spans {
+		kind, ok := kindOf(sp)
+		if !ok {
+			continue
+		}
+		for b := int(sp.Start / bucket); b <= int(sp.End/bucket) && b < n; b++ {
+			lo := max(sp.Start, time.Duration(b)*bucket)
+			hi := min(sp.End, time.Duration(b+1)*bucket)
 			if hi > lo {
-				s.Util[iv.kind][b] += float64(hi-lo) / float64(bucket) / float64(numWorkers)
+				s.Util[kind][b] += float64(hi-lo) / float64(bucket) / float64(numWorkers)
 			}
 		}
 	}
@@ -275,38 +324,14 @@ func (s *Series) SmoothnessCV() float64 {
 	return math.Sqrt(varSum/float64(len(vals))) / mean
 }
 
-// traceEvent is one Chrome trace-event ("X" = complete event).
-type traceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
-}
-
-// WriteChromeTrace dumps every recorded interval in the Chrome trace-event
-// format (a JSON array of complete events, one timeline row per worker),
-// loadable in chrome://tracing or Perfetto. Timestamps are microseconds
-// from the collector's first event.
+// WriteChromeTrace dumps every recorded span in the Chrome trace-event
+// format (a JSON array loadable in chrome://tracing or Perfetto): "M"
+// metadata events name each worker row "worker N", then one "X" complete
+// event per span with its attributes as args. Timestamps are microseconds
+// from the collector's first event. The output always ends with a newline,
+// including the nil collector's empty array.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
-	if c == nil {
-		_, err := w.Write([]byte("[]"))
-		return err
-	}
-	c.mu.Lock()
-	events := make([]traceEvent, 0, len(c.intervals))
-	for _, iv := range c.intervals {
-		events = append(events, traceEvent{
-			Name: iv.kind.String(),
-			Ph:   "X",
-			Ts:   float64(iv.from.Microseconds()),
-			Dur:  float64((iv.to - iv.from).Microseconds()),
-			Pid:  0,
-			Tid:  iv.worker,
-		})
-	}
-	c.mu.Unlock()
-	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
-	return json.NewEncoder(w).Encode(events)
+	return c.Tracer().WriteChromeTrace(w, func(i int) string {
+		return fmt.Sprintf("worker %d", i)
+	})
 }

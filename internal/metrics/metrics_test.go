@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"neutronstar/internal/obs"
 )
 
 func TestNilCollectorIsNoOp(t *testing.T) {
@@ -140,23 +142,157 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("invalid trace JSON: %v", err)
 	}
-	if len(events) != 2 {
+	// Two workers contribute 2 "M" metadata events each (thread_name +
+	// thread_sort_index), followed by the 2 "X" span events.
+	if len(events) != 6 {
 		t.Fatalf("events = %d", len(events))
 	}
-	// Events sorted by start time; first is the comm interval on worker 2.
-	if events[0]["name"] != "comm" || events[0]["tid"].(float64) != 2 {
-		t.Fatalf("first event %+v", events[0])
+	if events[0]["ph"] != "M" || events[0]["name"] != "thread_name" {
+		t.Fatalf("first event should be thread_name metadata: %+v", events[0])
 	}
-	if events[0]["dur"].(float64) < 1000 {
-		t.Fatalf("duration %v too short", events[0]["dur"])
+	args := events[0]["args"].(map[string]any)
+	if args["name"] != "worker 0" {
+		t.Fatalf("worker 0 row name = %v", args["name"])
 	}
-	// Nil collector emits an empty array.
+	var xs []map[string]any
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			xs = append(xs, ev)
+		}
+	}
+	if len(xs) != 2 {
+		t.Fatalf("X events = %d", len(xs))
+	}
+	// X events sorted by start time; first is the comm interval on worker 2.
+	if xs[0]["name"] != "comm" || xs[0]["tid"].(float64) != 2 {
+		t.Fatalf("first X event %+v", xs[0])
+	}
+	if xs[0]["dur"].(float64) < 1000 {
+		t.Fatalf("duration %v too short", xs[0]["dur"])
+	}
+	// Nil collector emits an empty array, newline-terminated like the
+	// non-nil path.
 	var nilC *Collector
 	buf.Reset()
 	if err := nilC.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if buf.String() != "[]" {
+	if buf.String() != "[]\n" {
 		t.Fatalf("nil trace = %q", buf.String())
+	}
+}
+
+func TestSpanAndGroup(t *testing.T) {
+	c := NewCollector()
+	g := c.Group(0, "epoch", obs.Int("epoch", 1))
+	sp := c.Span(0, Compute, "matmul", obs.Int("layer", 2))
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	g.End()
+	// The structural group must not count as busy time.
+	busy := c.Busy(Compute)
+	if busy <= 0 {
+		t.Fatal("span busy time missing")
+	}
+	spans := c.Tracer().Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	var group, op *obs.SpanData
+	for i := range spans {
+		switch spans[i].Name {
+		case "epoch":
+			group = &spans[i]
+		case "matmul":
+			op = &spans[i]
+		}
+	}
+	if group == nil || op == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if group.Class != obs.ClassNone || op.Class != int(Compute) {
+		t.Fatalf("classes: group=%d op=%d", group.Class, op.Class)
+	}
+	if op.Attr("layer") != 2 {
+		t.Fatalf("op attrs = %+v", op.Attrs)
+	}
+	if w := c.BusyByWorker(Compute); w[0] != busy {
+		t.Fatalf("BusyByWorker = %v, Busy = %v", w, busy)
+	}
+	// Nil collector derivatives are no-ops.
+	var nilC *Collector
+	nilC.Span(0, Compute, "x").End()
+	nilC.Group(0, "y").End()
+	if nilC.Tracer() != nil || nilC.Elapsed() != 0 || nilC.BusyByWorker(Compute) != nil {
+		t.Fatal("nil collector leaked state")
+	}
+}
+
+// addSynthetic injects an exact interval so bucket math is deterministic.
+func addSynthetic(c *Collector, w int, kind Kind, start, end time.Duration) {
+	c.Tracer().Add(obs.SpanData{Worker: w, Class: int(kind), Name: kind.String(), Start: start, End: end})
+}
+
+func TestBuildSeriesEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	s := c.BuildSeries(10*time.Millisecond, 4)
+	if s.NumBuckets() != 1 {
+		t.Fatalf("empty collector buckets = %d", s.NumBuckets())
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if s.MeanUtil(k) != 0 {
+			t.Fatalf("kind %v util nonzero", k)
+		}
+	}
+	if s.PeakNetRate() != 0 || s.SmoothnessCV() != 0 {
+		t.Fatal("empty collector reported rates")
+	}
+}
+
+func TestBuildSeriesSpanningManyBuckets(t *testing.T) {
+	c := NewCollector()
+	// One interval covering [5ms, 35ms) across 10ms buckets: partial first
+	// and last buckets, fully-covered middle buckets.
+	addSynthetic(c, 0, Compute, 5*time.Millisecond, 35*time.Millisecond)
+	s := c.BuildSeries(10*time.Millisecond, 1)
+	if s.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d", s.NumBuckets())
+	}
+	want := []float64{0.5, 1, 1, 0.5}
+	for b, w := range want {
+		if got := s.Util[Compute][b]; got < w-1e-9 || got > w+1e-9 {
+			t.Fatalf("bucket %d util = %v want %v", b, got, w)
+		}
+	}
+}
+
+func TestBuildSeriesZeroDurationDropped(t *testing.T) {
+	c := NewCollector()
+	// A zero-duration interval extends the series but contributes no busy
+	// time (hi <= lo in every bucket).
+	addSynthetic(c, 0, Compute, 25*time.Millisecond, 25*time.Millisecond)
+	s := c.BuildSeries(10*time.Millisecond, 1)
+	if s.NumBuckets() != 3 {
+		t.Fatalf("buckets = %d", s.NumBuckets())
+	}
+	for b := 0; b < s.NumBuckets(); b++ {
+		if s.Util[Compute][b] != 0 {
+			t.Fatalf("zero-duration interval counted in bucket %d", b)
+		}
+	}
+}
+
+func TestBuildSeriesIgnoresStructuralSpans(t *testing.T) {
+	c := NewCollector()
+	addSynthetic(c, 0, Compute, 0, 10*time.Millisecond)
+	// A structural epoch group covering the whole run must not alter the
+	// utilisation series or Busy totals.
+	c.Tracer().Add(obs.SpanData{Worker: 0, Class: obs.ClassNone, Name: "epoch", Start: 0, End: 10 * time.Millisecond})
+	s := c.BuildSeries(10*time.Millisecond, 1)
+	if got := s.Util[Compute][0]; got < 1-1e-9 || got > 1+1e-9 {
+		t.Fatalf("compute util = %v", got)
+	}
+	if c.Busy(Compute) != 10*time.Millisecond {
+		t.Fatalf("busy = %v", c.Busy(Compute))
 	}
 }

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel maps a name to a Level; unknown names default to info.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is a leveled structured logger emitting key=value text lines or
+// JSON objects. Loggers derived via With/WithJSON share the writer, its
+// mutex and the level, so SetLevel on any of them affects all. A nil
+// *Logger discards everything.
+type Logger struct {
+	out   *logOutput
+	level *atomic.Int32
+	json  bool
+	base  []logField
+	now   func() time.Time
+}
+
+type logOutput struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+type logField struct {
+	key string
+	val any
+}
+
+// NewLogger returns a text-format logger at LevelInfo writing to w.
+func NewLogger(w io.Writer) *Logger {
+	lv := &atomic.Int32{}
+	lv.Store(int32(LevelInfo))
+	return &Logger{out: &logOutput{w: w}, level: lv, now: time.Now}
+}
+
+// SetLevel changes the minimum emitted level (shared with derived loggers).
+func (l *Logger) SetLevel(lv Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(lv))
+}
+
+// WithJSON returns a copy emitting JSON objects instead of key=value text.
+func (l *Logger) WithJSON(on bool) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.json = on
+	return &c
+}
+
+// With returns a child logger whose lines always carry the given
+// alternating key/value pairs.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.base = append(append([]logField(nil), l.base...), pairs(kv)...)
+	return &c
+}
+
+// pairs folds an alternating key/value list into fields; a trailing key
+// without a value gets the explicit marker value "(MISSING)".
+func pairs(kv []any) []logField {
+	out := make([]logField, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		out = append(out, logField{key: key, val: val})
+	}
+	return out
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || lv < Level(l.level.Load()) {
+		return
+	}
+	fields := append(append([]logField(nil), l.base...), pairs(kv)...)
+	ts := l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00")
+	var line []byte
+	if l.json {
+		line = renderJSON(ts, lv, msg, fields)
+	} else {
+		line = renderText(ts, lv, msg, fields)
+	}
+	l.out.mu.Lock()
+	_, _ = l.out.w.Write(line)
+	l.out.mu.Unlock()
+}
+
+func renderText(ts string, lv Level, msg string, fields []logField) []byte {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(ts)
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(textValue(msg))
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.key)
+		b.WriteByte('=')
+		b.WriteString(textValue(fmtValue(f.val)))
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// fmtValue renders a field value compactly: floats trim trailing zeros,
+// everything else goes through fmt.
+func fmtValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', 6, 32)
+	case error:
+		return x.Error()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// textValue quotes a value when it contains characters that would break
+// key=value parsing.
+func textValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func renderJSON(ts string, lv Level, msg string, fields []logField) []byte {
+	var b strings.Builder
+	b.WriteString(`{"ts":`)
+	writeJSONValue(&b, ts)
+	b.WriteString(`,"level":`)
+	writeJSONValue(&b, lv.String())
+	b.WriteString(`,"msg":`)
+	writeJSONValue(&b, msg)
+	for _, f := range fields {
+		b.WriteByte(',')
+		writeJSONValue(&b, f.key)
+		b.WriteByte(':')
+		writeJSONValue(&b, f.val)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+func writeJSONValue(b *strings.Builder, v any) {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(fmt.Sprint(v))
+	}
+	b.Write(data)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = fixedClock
+	l.Info("epoch done", "epoch", 3, "loss", 0.421875, "phase", "forward pass")
+	got := buf.String()
+	want := `ts=2026-08-05T12:00:00.000Z level=info msg="epoch done" epoch=3 loss=0.421875 phase="forward pass"` + "\n"
+	if got != want {
+		t.Fatalf("line = %q\nwant  %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Debug("hidden")
+	l.Info("shown")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "shown") {
+		t.Fatalf("level filter broken: %q", buf.String())
+	}
+	buf.Reset()
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("SetLevel(debug) did not enable debug lines")
+	}
+	buf.Reset()
+	l.SetLevel(LevelError)
+	l.Warn("suppressed")
+	l.Error("kept", "err", errors.New("boom"))
+	if strings.Contains(buf.String(), "suppressed") || !strings.Contains(buf.String(), "err=boom") {
+		t.Fatalf("error-level filter: %q", buf.String())
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf).WithJSON(true)
+	l.now = fixedClock
+	l.Info("hello", "n", 2, "who", `says "hi"`)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if obj["level"] != "info" || obj["msg"] != "hello" || obj["n"] != float64(2) || obj["who"] != `says "hi"` {
+		t.Fatalf("obj = %v", obj)
+	}
+}
+
+func TestLoggerWithFields(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewLogger(&buf)
+	child := root.With("worker", 3)
+	child.Info("start")
+	if !strings.Contains(buf.String(), "worker=3") {
+		t.Fatalf("base field missing: %q", buf.String())
+	}
+	// Level is shared between root and derived loggers.
+	child.SetLevel(LevelError)
+	buf.Reset()
+	root.Info("quiet")
+	if buf.Len() != 0 {
+		t.Fatal("shared level not applied to root")
+	}
+}
+
+func TestLoggerNilAndOddPairs(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens") // must not panic
+	l.SetLevel(LevelDebug)
+	if l.With("a", 1) != nil || l.WithJSON(true) != nil {
+		t.Fatal("nil logger should derive nil")
+	}
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	lg.Info("odd", "key")
+	if !strings.Contains(buf.String(), `key=(MISSING)`) {
+		t.Fatalf("odd pair marker missing: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	if ParseLevel("debug") != LevelDebug || ParseLevel("WARN") != LevelWarn ||
+		ParseLevel("error") != LevelError || ParseLevel("bogus") != LevelInfo {
+		t.Fatal("ParseLevel mapping wrong")
+	}
+}

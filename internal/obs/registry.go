@@ -1,0 +1,433 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metric registry: counters, gauges and fixed-bucket histograms with
+// label support, exposed in Prometheus text exposition format (hand-rolled,
+// stdlib only). Naming convention: ns_<subsystem>_<name>_<unit>, with
+// counters suffixed _total.
+//
+// Registration is idempotent by family name so independent subsystems (or
+// several engines in one process) can declare the same metric and share it;
+// a redeclaration with a different type, help string or label set panics,
+// since that is a programming error, not a runtime condition.
+
+// metricKind discriminates the three collector families.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// atomicFloat is a float64 with atomic add/set via CAS on the bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Set(v)
+}
+
+// Add increments by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. upper holds the
+// ascending finite bucket bounds; the +Inf bucket is implicit. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Prometheus buckets are inclusive upper bounds: v goes to the first
+	// bucket with upper >= v.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n evenly spaced bucket bounds starting at start.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// TimeBuckets spans 1µs to ~16.8s in powers of four — wide enough for both
+// a single gather kernel and a full epoch.
+var TimeBuckets = ExpBuckets(1e-6, 4, 12)
+
+// SizeBuckets spans 64 B to ~1 GB in powers of four, for message and block
+// sizes.
+var SizeBuckets = ExpBuckets(64, 4, 12)
+
+// series is one labeled instance within a family.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	buckets    []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case counterKind:
+		s.c = &Counter{}
+	case gaugeKind:
+		s.g = &Gauge{}
+	case histogramKind:
+		s.h = &Histogram{
+			upper:  f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry or use
+// Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation (engine, comm, tensor) registers into and the debug
+// server serves by default.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) family(name, help string, kind metricKind, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+				name, kind, labelNames, f.kind, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		series:     make(map[string]*series),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the unlabeled counter with the given name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, counterKind, nil, nil).get(nil).c
+}
+
+// CounterVec declares a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, counterKind, labelNames, nil)}
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, gaugeKind, nil, nil).get(nil).g
+}
+
+// GaugeVec declares a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, gaugeKind, labelNames, nil)}
+}
+
+// Histogram returns the unlabeled histogram with the given name and bucket
+// bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, histogramKind, nil, buckets).get(nil).h
+}
+
+// HistogramVec declares a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, histogramKind, labelNames, buckets)}
+}
+
+// CounterVec resolves label values to counters.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).c }
+
+// GaugeVec resolves label values to gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// HistogramVec resolves label values to histograms.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
+// WritePrometheus renders every family in text exposition format (version
+// 0.0.4): families sorted by name, series sorted by label values, histograms
+// expanded into cumulative _bucket/_sum/_count series with a trailing +Inf
+// bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case counterKind:
+				writeSample(&b, f.name, f.labelNames, s.labelValues, "", "", s.c.Value())
+			case gaugeKind:
+				writeSample(&b, f.name, f.labelNames, s.labelValues, "", "", s.g.Value())
+			case histogramKind:
+				var cum uint64
+				for i, upper := range s.h.upper {
+					cum += s.h.counts[i].Load()
+					writeSample(&b, f.name+"_bucket", f.labelNames, s.labelValues,
+						"le", formatFloat(upper), float64(cum))
+				}
+				cum += s.h.counts[len(s.h.upper)].Load()
+				writeSample(&b, f.name+"_bucket", f.labelNames, s.labelValues,
+					"le", "+Inf", float64(cum))
+				writeSample(&b, f.name+"_sum", f.labelNames, s.labelValues, "", "", s.h.Sum())
+				writeSample(&b, f.name+"_count", f.labelNames, s.labelValues, "", "", float64(s.h.Count()))
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample renders one series line; extraName/extraValue append one more
+// label (histograms' le), placed last.
+func writeSample(b *strings.Builder, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		b.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			// %q escapes backslashes, quotes and newlines exactly as the
+			// exposition format requires.
+			fmt.Fprintf(b, "%s=%q", ln, labelValues[i])
+		}
+		if extraName != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraName, extraValue)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ns_srv_hits_total", "hits").Add(42)
+	reg.Histogram("ns_srv_seconds", "latency", TimeBuckets).Observe(0.01)
+	status := func() any {
+		return map[string]any{"epoch": 7, "loss": 0.5}
+	}
+	srv, err := NewServer("127.0.0.1:0", reg, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"ns_srv_hits_total 42",
+		`ns_srv_seconds_bucket{le="+Inf"} 1`,
+		"ns_srv_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get(t, base+"/status")
+	if code != 200 || !strings.Contains(body, `"epoch": 7`) {
+		t.Fatalf("status: %d %q", code, body)
+	}
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Fatalf("pprof goroutine: %d", code)
+	}
+}
+
+func TestDebugServerNilStatusAndRegistry(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body := get(t, base+"/status"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("status: %d %q", code, body)
+	}
+	// nil registry falls back to Default().
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+}

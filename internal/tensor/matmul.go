@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // gemmParallelThreshold is the minimum number of multiply-adds before GEMM
@@ -27,13 +28,15 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto %dx%d = %dx%d @ %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
+	start := time.Now()
 	dst.Zero()
 	work := a.rows * a.cols * b.cols
 	if work < gemmParallelThreshold || a.rows < 2 {
 		gemmRows(dst, a, b, 0, a.rows)
-		return
+	} else {
+		parallelRows(a.rows, func(lo, hi int) { gemmRows(dst, a, b, lo, hi) })
 	}
-	parallelRows(a.rows, func(lo, hi int) { gemmRows(dst, a, b, lo, hi) })
+	obsMatMulNN.Observe(time.Since(start).Seconds())
 }
 
 // gemmRows computes rows [lo,hi) of dst = a @ b using an ikj loop order so the
@@ -61,6 +64,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("tensor: MatMulTA %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
+	start := time.Now()
 	out := New(a.cols, b.cols)
 	m, n := a.cols, b.cols
 	if a.rows*m*n < gemmParallelThreshold || m < 2 {
@@ -76,6 +80,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 				}
 			}
 		}
+		obsMatMulTA.Observe(time.Since(start).Seconds())
 		return out
 	}
 	// Parallelise over output rows (columns of a) so goroutines never write
@@ -95,6 +100,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
+	obsMatMulTA.Observe(time.Since(start).Seconds())
 	return out
 }
 
@@ -104,12 +110,14 @@ func MatMulTB(a, b *Tensor) *Tensor {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulTB %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
+	start := time.Now()
 	out := New(a.rows, b.rows)
 	if a.rows*a.cols*b.rows < gemmParallelThreshold || a.rows < 2 {
 		matMulTBRows(out, a, b, 0, a.rows)
-		return out
+	} else {
+		parallelRows(a.rows, func(lo, hi int) { matMulTBRows(out, a, b, lo, hi) })
 	}
-	parallelRows(a.rows, func(lo, hi int) { matMulTBRows(out, a, b, lo, hi) })
+	obsMatMulTB.Observe(time.Since(start).Seconds())
 	return out
 }
 

@@ -1,0 +1,16 @@
+package tensor
+
+import "neutronstar/internal/obs"
+
+// GEMM timing by variant: "nn" is the plain forward product, "ta"/"tb" the
+// transposed forms used for weight and input gradients. Series are
+// pre-resolved at init so the hot path pays one histogram observe, no label
+// lookup.
+var (
+	obsMatMulVec = obs.Default().HistogramVec("ns_tensor_matmul_seconds",
+		"Duration of dense matrix multiplies, by operand layout.",
+		obs.TimeBuckets, "op")
+	obsMatMulNN = obsMatMulVec.With("nn")
+	obsMatMulTA = obsMatMulVec.With("ta")
+	obsMatMulTB = obsMatMulVec.With("tb")
+)

@@ -31,6 +31,8 @@ package neutronstar
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"neutronstar/internal/comm"
 	"neutronstar/internal/dataset"
@@ -243,6 +245,10 @@ type Session struct {
 	ds   *Dataset
 	eng  *engine.Engine
 	coll *metrics.Collector
+
+	mu        sync.Mutex
+	lastEpoch int
+	lastLoss  float64
 }
 
 // NewSession builds the simulated cluster and plans dependency management
@@ -334,10 +340,62 @@ func (s *Session) Train(epochs int) []EpochResult {
 	out := make([]EpochResult, 0, epochs)
 	for i := 0; i < epochs; i++ {
 		st := s.eng.RunEpoch()
+		s.mu.Lock()
+		s.lastEpoch, s.lastLoss = st.Epoch, st.Loss
+		s.mu.Unlock()
 		out = append(out, EpochResult{
 			Epoch: st.Epoch, Loss: st.Loss,
 			Millis: float64(st.Duration.Microseconds()) / 1000,
 		})
+	}
+	return out
+}
+
+// Status is a point-in-time snapshot of a session, served as JSON by the
+// debug server's /status endpoint.
+type Status struct {
+	Dataset string `json:"dataset"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	// Epoch/Loss reflect the last completed epoch (zero before training).
+	Epoch int     `json:"epoch"`
+	Loss  float64 `json:"loss"`
+	// Traffic totals require Config.Metrics; zero otherwise.
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+	// ComputeBusy / CommBusy are per-worker busy fractions of the elapsed
+	// run time (the live view of the paper's Figure 13 utilisation curves).
+	ComputeBusy map[int]float64 `json:"compute_busy,omitempty"`
+	CommBusy    map[int]float64 `json:"comm_busy,omitempty"`
+}
+
+// Status snapshots the session. Safe to call concurrently with Train — the
+// debug server polls it from its own goroutines.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	st := Status{Epoch: s.lastEpoch, Loss: s.lastLoss}
+	s.mu.Unlock()
+	st.Dataset = s.ds.Name()
+	st.Engine = string(s.eng.Mode())
+	st.Workers = s.eng.NumWorkers()
+	if s.coll != nil {
+		st.BytesSent = s.coll.BytesSent()
+		st.BytesReceived = s.coll.BytesReceived()
+		if elapsed := s.coll.Elapsed().Seconds(); elapsed > 0 {
+			st.ComputeBusy = busyFractions(s.coll.BusyByWorker(metrics.Compute), elapsed)
+			st.CommBusy = busyFractions(s.coll.BusyByWorker(metrics.Comm), elapsed)
+		}
+	}
+	return st
+}
+
+func busyFractions(busy map[int]time.Duration, elapsed float64) map[int]float64 {
+	if len(busy) == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(busy))
+	for w, d := range busy {
+		out[w] = d.Seconds() / elapsed
 	}
 	return out
 }
