@@ -37,6 +37,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject nonsensical scales up front: a negative worker count would
+	// otherwise surface as a partitioner panic several layers down.
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "nsbench: -workers must be non-negative, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *epochs < 0 {
+		fmt.Fprintf(os.Stderr, "nsbench: -epochs must be non-negative, got %d\n", *epochs)
+		os.Exit(2)
+	}
+	if *graphs != "" {
+		for _, g := range strings.Split(*graphs, ",") {
+			if strings.TrimSpace(g) == "" {
+				fmt.Fprintf(os.Stderr, "nsbench: -graphs contains an empty dataset name: %q\n", *graphs)
+				os.Exit(2)
+			}
+		}
+	}
 
 	// current names the running experiment for the debug server's /status.
 	var current atomic.Value

@@ -5,6 +5,18 @@
 //
 //	nstrain -dataset reddit -engine hybrid -model gcn -workers 8 -epochs 30
 //
+// With -ckpt-dir the run snapshots its full training state (parameters,
+// optimiser moments, RNG positions, loss history) every -ckpt-every epochs;
+// -resume restarts from the newest snapshot in that directory:
+//
+//	nstrain -dataset reddit -epochs 50 -ckpt-dir /tmp/ckpt -ckpt-every 5
+//	nstrain -dataset reddit -epochs 50 -ckpt-dir /tmp/ckpt -resume
+//
+// With -fault-spec every non-local message is subjected to deterministic
+// drops, delays and duplicates, with retransmission keeping the run alive:
+//
+//	nstrain -dataset reddit -epochs 30 -fault-spec 'drop=0.05,jitter=1ms,seed=7'
+//
 // With -debug-addr a live debug server exposes Prometheus metrics
 // (/metrics), a JSON session snapshot (/status), a liveness probe
 // (/healthz) and net/http/pprof while training runs:
@@ -15,6 +27,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"strings"
 
@@ -29,16 +42,26 @@ func main() {
 		model     = flag.String("model", "gcn", "model: gcn, gin, gat")
 		workers   = flag.Int("workers", 4, "simulated cluster size")
 		epochs    = flag.Int("epochs", 30, "training epochs")
+		layers    = flag.Int("layers", 0, "propagation depth L (0 = the paper's default of 2)")
 		network   = flag.String("network", "local", "network profile: local, ecs, ibv")
 		lr        = flag.Float64("lr", 0.01, "learning rate")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		opt       = flag.Bool("optimized", true, "enable ring/lock-free/overlap optimisations")
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
+		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint cadence in epochs")
+		resume    = flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
+		faultSpec = flag.String("fault-spec", "", "network fault injection, e.g. 'drop=0.05,jitter=1ms,seed=7'")
 		trace     = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
 		logJSON   = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	if err := validateFlags(*dsName, *workers, *epochs, *layers, *ckptDir, *ckptEvery, *resume); err != nil {
+		fmt.Fprintf(os.Stderr, "nstrain: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	log := obs.NewLogger(os.Stdout).WithJSON(*logJSON)
 	log.SetLevel(obs.ParseLevel(*logLevel))
@@ -59,9 +82,13 @@ func main() {
 		Engine:  neutronstar.EngineKind(*engName),
 		Model:   neutronstar.ModelKind(*model),
 		Network: neutronstar.NetworkKind(*network),
+		Layers:  *layers,
 		Ring:    *opt, LockFree: *opt, Overlap: *opt,
-		LR:   *lr,
-		Seed: *seed,
+		LR:        *lr,
+		Seed:      *seed,
+		CkptDir:   *ckptDir,
+		CkptEvery: *ckptEvery,
+		FaultSpec: *faultSpec,
 		// The debug server's /status busy fractions need the collector too.
 		Metrics: *trace != "" || *debugAddr != "",
 	})
@@ -69,6 +96,26 @@ func main() {
 		fail(err)
 	}
 	defer s.Close()
+
+	if *faultSpec != "" {
+		log.Info("fault injection active", "spec", *faultSpec)
+	}
+
+	startEpoch := 0
+	if *resume {
+		resumed, err := s.Resume()
+		if err != nil {
+			fail(err)
+		}
+		if resumed {
+			hist := s.History()
+			startEpoch = hist[len(hist)-1].Epoch
+			log.Info("resumed from snapshot", "dir", *ckptDir,
+				"epoch", startEpoch, "loss", hist[len(hist)-1].Loss)
+		} else {
+			log.Info("no snapshot to resume; starting fresh", "dir", *ckptDir)
+		}
+	}
 
 	if *debugAddr != "" {
 		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any { return s.Status() })
@@ -88,8 +135,11 @@ func main() {
 	log.Info("planning done", "replica_kb", float64(s.CacheBytes())/1024,
 		"planning_ms", s.PreprocessMillis())
 
-	for i := 0; i < *epochs; i++ {
+	for i := startEpoch; i < *epochs; i++ {
 		ep := s.TrainEpoch()
+		if ep.CkptErr != nil {
+			log.Warn("checkpoint save failed", "epoch", ep.Epoch, "err", ep.CkptErr)
+		}
 		if ep.Epoch%5 == 0 || ep.Epoch == 1 || ep.Epoch == *epochs {
 			log.Info("epoch done", "epoch", ep.Epoch, "loss", ep.Loss, "ms", ep.Millis)
 		} else {
@@ -110,4 +160,29 @@ func main() {
 	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
 		"val", s.Accuracy(neutronstar.SplitVal),
 		"test", s.Accuracy(neutronstar.SplitTest))
+}
+
+// validateFlags rejects nonsensical flag combinations up front with a usage
+// error, instead of letting them surface as a panic or confusing failure deep
+// inside the engine.
+func validateFlags(dataset string, workers, epochs, layers int, ckptDir string, ckptEvery int, resume bool) error {
+	if strings.TrimSpace(dataset) == "" {
+		return fmt.Errorf("-dataset must not be empty (available: %s)", strings.Join(neutronstar.DatasetNames(), ", "))
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	if epochs <= 0 {
+		return fmt.Errorf("-epochs must be positive, got %d", epochs)
+	}
+	if layers < 0 {
+		return fmt.Errorf("-layers must be non-negative, got %d", layers)
+	}
+	if ckptEvery <= 0 {
+		return fmt.Errorf("-ckpt-every must be positive, got %d", ckptEvery)
+	}
+	if resume && ckptDir == "" {
+		return fmt.Errorf("-resume requires -ckpt-dir")
+	}
+	return nil
 }

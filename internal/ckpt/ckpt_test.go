@@ -1,0 +1,220 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testSnapshot(epoch int) *Snapshot {
+	s := &Snapshot{
+		Fingerprint: 0xDEADBEEFCAFE,
+		Epoch:       epoch,
+	}
+	for e := 1; e <= epoch; e++ {
+		s.History = append(s.History, EpochRecord{Epoch: e, Loss: 1.0 / float64(e), Millis: float64(10 * e)})
+	}
+	for w := 0; w < 2; w++ {
+		ws := WorkerState{
+			RNGState: uint64(0x1234+w) << 7,
+			OptAlgo:  "adam",
+			OptStep:  epoch,
+		}
+		for p := 0; p < 3; p++ {
+			rows, cols := 2+p, 3
+			n := rows * cols
+			ps := ParamState{Name: fmt.Sprintf("w%d.p%d", w, p), Rows: rows, Cols: cols}
+			for i := 0; i < n; i++ {
+				ps.Value = append(ps.Value, float32(i)*0.25+float32(w))
+			}
+			if p != 2 { // one param deliberately without moments
+				for i := 0; i < n; i++ {
+					ps.M = append(ps.M, float32(i)*0.5)
+					ps.V = append(ps.V, float32(i)*0.125)
+				}
+			}
+			ws.Params = append(ws.Params, ps)
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot(7)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), s.EncodedBytes(); got != want {
+		t.Fatalf("encoded %d bytes, EncodedBytes says %d", got, want)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := testSnapshot(3)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip one bit somewhere in the body: the CRC must catch it.
+	for _, pos := range []int{8, len(clean) / 2, len(clean) - 5} {
+		bad := append([]byte(nil), clean...)
+		bad[pos] ^= 0x40
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("decode accepted a snapshot with bit %d flipped", pos)
+		}
+	}
+	// Truncation at any point must fail, not panic.
+	for _, n := range []int{0, 3, 10, len(clean) - 1} {
+		if _, err := Decode(bytes.NewReader(clean[:n])); err == nil {
+			t.Fatalf("decode accepted a snapshot truncated to %d bytes", n)
+		}
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	s := testSnapshot(1)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	// Recompute the CRC so only the version check can reject it.
+	body := data[:len(data)-4]
+	sum := crc32ChecksumIEEE(body)
+	data[len(data)-4] = byte(sum)
+	data[len(data)-3] = byte(sum >> 8)
+	data[len(data)-2] = byte(sum >> 16)
+	data[len(data)-1] = byte(sum >> 24)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("decode accepted an unknown snapshot version")
+	}
+}
+
+func TestStoreSaveLoadLatest(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := st.LoadLatest(); err != nil || s != nil {
+		t.Fatalf("empty store: got (%v, %v), want (nil, nil)", s, err)
+	}
+	for epoch := 1; epoch <= 3; epoch++ {
+		if _, err := st.Save(testSnapshot(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || !reflect.DeepEqual(got, testSnapshot(3)) {
+		t.Fatalf("LoadLatest returned epoch %d, want 3", got.Epoch)
+	}
+}
+
+func TestStoreRotation(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Retain = 2
+	for epoch := 1; epoch <= 5; epoch++ {
+		if _, err := st.Save(testSnapshot(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Epoch != 4 || entries[1].Epoch != 5 {
+		t.Fatalf("retained %+v, want epochs 4 and 5", entries)
+	}
+	files, _ := filepath.Glob(filepath.Join(st.Dir(), "snap-*.nsck"))
+	if len(files) != 2 {
+		t.Fatalf("retained %d snapshot files, want 2: %v", len(files), files)
+	}
+	// Re-saving an epoch already in the manifest replaces it, not duplicates.
+	if _, err := st.Save(testSnapshot(5)); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = st.Entries()
+	if len(entries) != 2 || entries[1].Epoch != 5 {
+		t.Fatalf("after re-save: %+v", entries)
+	}
+}
+
+func TestStoreSurvivesStaleManifestEntry(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= 2; epoch++ {
+		if _, err := st.Save(testSnapshot(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a lost latest snapshot (crash after manifest write).
+	if err := os.Remove(filepath.Join(st.Dir(), "snap-00000002.nsck")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 {
+		t.Fatalf("degraded load returned epoch %d, want 1", got.Epoch)
+	}
+}
+
+func TestManifestRejectsEscapingPath(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := manifestHeader + "\nepoch=1 file=../evil.nsck bytes=1 saved_unix=0\n"
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Entries(); err == nil {
+		t.Fatal("manifest with path escape was accepted")
+	}
+}
+
+func TestSaverCadence(t *testing.T) {
+	var nilSaver *Saver
+	if nilSaver.Due(1) {
+		t.Fatal("nil saver claims to be due")
+	}
+	s := &Saver{Store: &Store{dir: "x"}, Every: 5}
+	for epoch, want := range map[int]bool{1: false, 4: false, 5: true, 10: true, 11: false} {
+		if s.Due(epoch) != want {
+			t.Fatalf("Every=5: Due(%d) = %v, want %v", epoch, s.Due(epoch), want)
+		}
+	}
+	s.Every = 0
+	if !s.Due(1) || !s.Due(2) {
+		t.Fatal("Every=0 should snapshot every epoch")
+	}
+}
+
+func crc32ChecksumIEEE(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}

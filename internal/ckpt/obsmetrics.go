@@ -1,0 +1,21 @@
+package ckpt
+
+import "neutronstar/internal/obs"
+
+// Process-wide checkpoint metrics on the default registry, feeding the
+// debug server's /metrics endpoint alongside the engine and comm families.
+// Gauges describe the most recent save; counters accumulate across stores.
+var (
+	obsSaves = obs.Default().Counter("ns_ckpt_saves_total",
+		"Snapshots successfully written.")
+	obsSaveFailures = obs.Default().Counter("ns_ckpt_save_failures_total",
+		"Snapshot writes that failed (training continues; the previous snapshot stays live).")
+	obsRestores = obs.Default().Counter("ns_ckpt_restores_total",
+		"Snapshots successfully decoded for restore.")
+	obsSaveSeconds = obs.Default().Gauge("ns_ckpt_save_duration_seconds",
+		"Wall-clock duration of the last snapshot write.")
+	obsSnapshotBytes = obs.Default().Gauge("ns_ckpt_snapshot_bytes",
+		"Encoded size of the last written snapshot.")
+	obsRetained = obs.Default().Gauge("ns_ckpt_retained_snapshots",
+		"Snapshots currently retained in the most recently written store.")
+)

@@ -95,27 +95,57 @@ func decodeMessage(r *bufio.Reader) (*Message, error) {
 		return nil, fmt.Errorf("comm: wire dimensions out of range (%d verts, %dx%d)", nv, rows, cols)
 	}
 	if nv > 0 {
-		msg.Vertices = make([]int32, nv)
-		buf := make([]byte, 4*nv)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		verts, err := readU32Chunked(r, int(nv))
+		if err != nil {
 			return nil, err
 		}
-		for i := range msg.Vertices {
-			msg.Vertices[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		msg.Vertices = make([]int32, nv)
+		for i, v := range verts {
+			msg.Vertices[i] = int32(v)
 		}
 	}
 	if rows*cols > 0 {
-		data := make([]float32, rows*cols)
-		buf := make([]byte, 4*len(data))
-		if _, err := io.ReadFull(r, buf); err != nil {
+		raw, err := readU32Chunked(r, int(rows)*int(cols))
+		if err != nil {
 			return nil, err
 		}
-		for i := range data {
-			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		data := make([]float32, len(raw))
+		for i, v := range raw {
+			data[i] = math.Float32frombits(v)
 		}
 		msg.Rows = tensor.FromSlice(int(rows), int(cols), data)
 	} else if rows > 0 || cols > 0 {
 		msg.Rows = tensor.New(int(rows), int(cols))
 	}
 	return msg, nil
+}
+
+// readU32Chunked reads n little-endian u32 values in bounded chunks, so a
+// corrupt or hostile length field costs at most one chunk of allocation
+// beyond the bytes actually present in the stream — a 41-byte header
+// claiming 2^28 elements fails at the first short read instead of
+// committing a gigabyte up front.
+func readU32Chunked(r *bufio.Reader, n int) ([]uint32, error) {
+	const chunk = 1 << 14
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]uint32, 0, first)
+	var buf [4 * chunk]byte
+	for n > 0 {
+		c := n
+		if c > chunk {
+			c = chunk
+		}
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		n -= c
+	}
+	return out, nil
 }

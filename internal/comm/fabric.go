@@ -260,13 +260,26 @@ type routeKey struct {
 
 // Mailbox matches arriving messages to waiting receivers by
 // (kind, epoch, layer, seq, from). The training protocol guarantees at most
-// one message per key, so each key is a single-assignment cell.
+// one message per key, so each key is a single-assignment cell; a duplicate
+// delivery panics, because in a fault-free fabric it indicates a protocol
+// bug. Under fault injection (FaultyFabric) duplicates are a deliberately
+// injected condition: EnableDedup switches the mailbox to at-least-once
+// semantics, where redelivered keys are silently dropped and counted.
 type Mailbox struct {
 	mu      sync.Mutex
 	pending map[routeKey]*Message
 	waiting map[routeKey]chan *Message
 	closed  bool
+
+	dedup bool
+	seen  map[routeKey]struct{}
 }
+
+// dedupSeenMax bounds the delivered-key memory: when the set grows past
+// this, keys from other epochs are swept. A duplicate of a swept key is
+// redelivered into pending and sits there unmatched (keys are never reused),
+// which wastes one message of memory instead of corrupting the protocol.
+const dedupSeenMax = 1 << 16
 
 func newMailbox() *Mailbox {
 	return &Mailbox{
@@ -275,12 +288,39 @@ func newMailbox() *Mailbox {
 	}
 }
 
+// EnableDedup switches the mailbox to at-least-once delivery: duplicate
+// keys are dropped instead of panicking. Enabled by FaultyFabric, which
+// injects duplicates and retransmissions on purpose.
+func (mb *Mailbox) EnableDedup() {
+	mb.mu.Lock()
+	if !mb.dedup {
+		mb.dedup = true
+		mb.seen = make(map[routeKey]struct{})
+	}
+	mb.mu.Unlock()
+}
+
 func (mb *Mailbox) deliver(msg *Message) {
 	key := routeKey{kind: msg.Kind, epoch: msg.Epoch, layer: msg.Layer, seq: msg.Seq, from: msg.From}
 	mb.mu.Lock()
 	if mb.closed {
 		mb.mu.Unlock()
 		return
+	}
+	if mb.dedup {
+		if _, dup := mb.seen[key]; dup {
+			mb.mu.Unlock()
+			obsDedupDropped.Inc()
+			return
+		}
+		if len(mb.seen) >= dedupSeenMax {
+			for k := range mb.seen {
+				if k.epoch != msg.Epoch {
+					delete(mb.seen, k)
+				}
+			}
+		}
+		mb.seen[key] = struct{}{}
 	}
 	if ch, ok := mb.waiting[key]; ok {
 		delete(mb.waiting, key)

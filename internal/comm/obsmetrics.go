@@ -24,6 +24,23 @@ var (
 		obs.TimeBuckets)
 )
 
+// Fault-injection metrics (FaultyFabric). All zero unless a fault spec is
+// active.
+var (
+	obsFaultDropped = obs.Default().CounterVec("ns_comm_fault_dropped_total",
+		"Transmission attempts lost by fault injection, by protocol kind.", "kind")
+	obsFaultDuplicated = obs.Default().CounterVec("ns_comm_fault_duplicated_total",
+		"Messages duplicated by fault injection, by protocol kind.", "kind")
+	obsFaultRetransmits = obs.Default().Counter("ns_comm_fault_retransmissions_total",
+		"Retransmissions after a lost attempt's retry timeout.")
+	obsFaultExhausted = obs.Default().Counter("ns_comm_fault_retry_exhausted_total",
+		"Messages whose retry budget ran out (delivered anyway to preserve liveness).")
+	obsFaultDelaySeconds = obs.Default().Histogram("ns_comm_fault_delay_seconds",
+		"Injected per-message delay (fixed + jitter).", obs.TimeBuckets)
+	obsDedupDropped = obs.Default().Counter("ns_comm_fault_dedup_dropped_total",
+		"Duplicate deliveries absorbed by mailbox dedup.")
+)
+
 // recordSend stamps the message and updates the send-side counters; both
 // fabrics call it for every non-self send.
 func recordSend(msg *Message) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"neutronstar/internal/ckpt"
 	"neutronstar/internal/comm"
 	"neutronstar/internal/costmodel"
 	"neutronstar/internal/dataset"
@@ -91,6 +92,12 @@ type Options struct {
 	CacheRatio float64
 	// Collector receives utilisation metrics (may be nil).
 	Collector *metrics.Collector
+	// Fault, when non-nil, wraps the fabric in seeded fault injection
+	// (drops, delays, duplicates per comm.FaultSpec) with retransmission.
+	Fault *comm.FaultSpec
+	// Ckpt, when non-nil, saves a snapshot at every due epoch barrier. A
+	// failed save is reported on the epoch's EpochStats, never fatal.
+	Ckpt *ckpt.Saver
 }
 
 // withDefaults fills unset options.
@@ -120,6 +127,10 @@ type EpochStats struct {
 	Loss float64
 	// Duration is the wall-clock epoch time (forward+backward+update).
 	Duration time.Duration
+	// CkptErr reports a failed checkpoint save at this epoch's barrier.
+	// Training continues regardless: a full disk should not kill a run that
+	// can still make progress.
+	CkptErr error
 }
 
 // Engine trains one model on one dataset over a simulated cluster.
@@ -133,6 +144,9 @@ type Engine struct {
 	states []*workerState
 	dims   []int
 	epoch  int
+	// history accumulates every completed epoch's stats; it rides along in
+	// snapshots so a resumed run reports a continuous loss curve.
+	history []EpochStats
 	// predicts counts inference passes for message-tag uniqueness.
 	predicts int
 
@@ -210,6 +224,9 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	} else {
 		fabric = comm.NewFabric(opts.Workers, opts.Profile, opts.Collector)
 	}
+	if opts.Fault != nil {
+		fabric = comm.NewFaultyFabric(fabric, opts.Fault)
+	}
 	e := &Engine{
 		opts: opts, ds: ds, part: part, decs: decs, plans: plans, dims: dims,
 		fabric:         fabric,
@@ -281,17 +298,23 @@ func (e *Engine) RunEpoch() EpochStats {
 		lossSum float64
 		count   int
 	}
-	results := make(chan result, len(e.states))
-	for _, ws := range e.states {
-		go func(ws *workerState) {
+	results := make([]result, len(e.states))
+	var wg sync.WaitGroup
+	for i, ws := range e.states {
+		wg.Add(1)
+		go func(i int, ws *workerState) {
+			defer wg.Done()
 			sum, n := ws.runEpoch(e.epoch)
-			results <- result{lossSum: sum, count: n}
-		}(ws)
+			results[i] = result{lossSum: sum, count: n}
+		}(i, ws)
 	}
+	wg.Wait()
+	// Sum in worker-id order: float addition is not associative, so summing
+	// in completion order would make the reported loss depend on goroutine
+	// scheduling — same-seed runs must be bit-identical.
 	var lossSum float64
 	var count int
-	for range e.states {
-		r := <-results
+	for _, r := range results {
 		lossSum += r.lossSum
 		count += r.count
 	}
@@ -300,9 +323,17 @@ func (e *Engine) RunEpoch() EpochStats {
 	if count > 0 {
 		st.Loss = lossSum / float64(count)
 	}
+	e.history = append(e.history, st)
 	obsEpoch.Set(float64(st.Epoch))
 	obsLoss.Set(st.Loss)
 	obsEpochSeconds.Set(st.Duration.Seconds())
+	// The epoch barrier has passed: every worker is quiescent, so the
+	// snapshot sees one consistent cluster state.
+	if e.opts.Ckpt.Due(e.epoch) {
+		if err := e.opts.Ckpt.Save(e.Snapshot()); err != nil {
+			st.CkptErr = err
+		}
+	}
 	return st
 }
 

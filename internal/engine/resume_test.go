@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"neutronstar/internal/ckpt"
+	"neutronstar/internal/comm"
+	"neutronstar/internal/obs"
+)
+
+// trainLosses runs a fresh engine for `epochs` and returns the loss curve.
+func trainLosses(t *testing.T, opts Options, epochs int) []float64 {
+	t.Helper()
+	ds := testDataset(t, 300, 6, 3)
+	e, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	out := make([]float64, 0, epochs)
+	for _, st := range e.Train(epochs) {
+		if st.CkptErr != nil {
+			t.Fatalf("epoch %d checkpoint: %v", st.Epoch, st.CkptErr)
+		}
+		out = append(out, st.Loss)
+	}
+	return out
+}
+
+// TestSameSeedBitIdentical is the determinism regression: two runs with the
+// same seed must produce bit-identical loss curves. This is what the
+// worker-id-ordered loss summation in RunEpoch buys — any reordering of the
+// float additions would break it.
+func TestSameSeedBitIdentical(t *testing.T) {
+	opts := Options{Workers: 4, Mode: Hybrid, Seed: 11}
+	a := trainLosses(t, opts, 5)
+	b := trainLosses(t, opts, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d: losses diverge bitwise: %.17g vs %.17g", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestKillAndResumeMatchesUninterrupted trains 6 epochs straight through,
+// then separately trains 3 epochs, "kills" the engine, rebuilds it from the
+// snapshot, and trains 3 more. The resumed curve must match the
+// uninterrupted one within 1e-5 (bit-exact in-process, since the probed cost
+// model is memoised; the tolerance absorbs cross-process plan differences).
+func TestKillAndResumeMatchesUninterrupted(t *testing.T) {
+	const k, total = 3, 6
+	opts := Options{Workers: 4, Mode: Hybrid, Seed: 5}
+	ds := testDataset(t, 300, 6, 3)
+
+	full, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 0, total)
+	for _, st := range full.Train(total) {
+		want = append(want, st.Loss)
+	}
+	full.Close()
+
+	store, err := ckpt.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsCkpt := opts
+	optsCkpt.Ckpt = &ckpt.Saver{Store: store, Every: 1}
+	first, err := NewEngine(ds, optsCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range first.Train(k) {
+		if st.CkptErr != nil {
+			t.Fatalf("epoch %d checkpoint: %v", st.Epoch, st.CkptErr)
+		}
+		if st.Loss != want[i] {
+			t.Fatalf("pre-kill epoch %d loss %.17g, uninterrupted %.17g", i+1, st.Loss, want[i])
+		}
+	}
+	first.Close() // the "crash"
+
+	snap, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot on disk after 3 checkpointed epochs")
+	}
+	if snap.Epoch != k {
+		t.Fatalf("latest snapshot is epoch %d, want %d", snap.Epoch, k)
+	}
+
+	second, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if err := second.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(second.History()); got != k {
+		t.Fatalf("restored history has %d epochs, want %d", got, k)
+	}
+	for i, st := range second.Train(total - k) {
+		if st.Epoch != k+i+1 {
+			t.Fatalf("resumed epoch numbered %d, want %d", st.Epoch, k+i+1)
+		}
+		if diff := math.Abs(st.Loss - want[k+i]); diff > 1e-5 {
+			t.Fatalf("resumed epoch %d loss %.17g, uninterrupted %.17g (diff %g)",
+				st.Epoch, st.Loss, want[k+i], diff)
+		}
+	}
+	if !second.ReplicasInSync() {
+		t.Fatal("replicas diverged after resume")
+	}
+}
+
+// TestRestoreRejectsMismatchedFingerprint: a snapshot from a different
+// cluster shape must be refused, not loaded misaligned.
+func TestRestoreRejectsMismatchedFingerprint(t *testing.T) {
+	ds := testDataset(t, 300, 6, 3)
+	a, err := NewEngine(ds, Options{Workers: 4, Mode: Hybrid, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.RunEpoch()
+	snap := a.Snapshot()
+
+	b, err := NewEngine(ds, Options{Workers: 2, Mode: Hybrid, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Restore(snap); err == nil {
+		t.Fatal("restore of a 4-worker snapshot into a 2-worker engine succeeded")
+	}
+}
+
+// TestFaultInjectedRunCompletes is the acceptance run: 5% drop with jittered
+// delay on every kind. Retransmission must carry the run to completion, the
+// fault counters must show real injected faults, and — because faults touch
+// timing, never content — the loss curve must match the clean run exactly.
+func TestFaultInjectedRunCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injected training is slow under -short")
+	}
+	spec, err := comm.ParseFaultSpec("drop=0.05,delay=100us,jitter=500us,dup=0.02,seed=9,timeout=500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := trainLosses(t, Options{Workers: 4, Mode: Hybrid, Seed: 7}, 3)
+	before := metricValues(t, "ns_comm_fault_dropped_total", "ns_comm_fault_retransmissions_total")
+	faulted := trainLosses(t, Options{Workers: 4, Mode: Hybrid, Seed: 7, Fault: spec}, 3)
+	after := metricValues(t, "ns_comm_fault_dropped_total", "ns_comm_fault_retransmissions_total")
+	for i := range clean {
+		if clean[i] != faulted[i] {
+			t.Fatalf("epoch %d: faulted loss %.17g differs from clean %.17g — faults must never alter content",
+				i+1, faulted[i], clean[i])
+		}
+	}
+	for name, b := range before {
+		if after[name] <= b {
+			t.Errorf("metric %s did not increase over the faulted run (%g -> %g)", name, b, after[name])
+		}
+	}
+}
+
+// metricValues renders the default registry the way /metrics would and sums
+// every sample of the named families.
+func metricValues(t *testing.T, names ...string) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(names))
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		metric := fields[0]
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			metric = metric[:i]
+		}
+		for _, name := range names {
+			if metric == name {
+				v, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil {
+					t.Fatalf("metric line %q: %v", line, err)
+				}
+				out[name] += v
+			}
+		}
+	}
+	return out
+}

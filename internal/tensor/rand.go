@@ -30,6 +30,20 @@ func (r *RNG) Seed(seed uint64) {
 	r.state = z
 }
 
+// State returns the generator's internal state, for checkpointing. The
+// state is never zero, so a zero value can mark "no saved state".
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously returned by State, resuming the
+// stream exactly where it left off. A zero state is remapped like Seed's
+// zero handling so a restored RNG is always valid.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x2545F4914F6CDD1D
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

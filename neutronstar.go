@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"neutronstar/internal/ckpt"
 	"neutronstar/internal/comm"
 	"neutronstar/internal/dataset"
 	"neutronstar/internal/engine"
@@ -126,6 +127,22 @@ type Config struct {
 	MemBudgetBytes int64
 	// Metrics enables utilisation collection (see Session.Metrics).
 	Metrics bool
+	// CkptDir enables checkpointing: a full training snapshot (parameters,
+	// optimiser moments, RNG positions, loss history) is written into this
+	// directory at every CkptEvery-th epoch barrier, and Resume restores the
+	// newest one. Empty disables checkpointing.
+	CkptDir string
+	// CkptEvery is the checkpoint cadence in epochs (<=1 means every epoch).
+	CkptEvery int
+	// CkptRetain caps how many snapshots are kept (0 = default 3, negative =
+	// unlimited).
+	CkptRetain int
+	// FaultSpec enables deterministic network fault injection, e.g.
+	// "drop=0.05,jitter=1ms,seed=7" — see the grammar in internal/comm's
+	// ParseFaultSpec. Faults degrade timing, never message content, so a
+	// faulted run converges to the same losses as a clean one. Empty
+	// disables injection.
+	FaultSpec string
 }
 
 // LRSchedule selects a learning-rate decay policy. The zero value keeps a
@@ -238,13 +255,17 @@ type EpochResult struct {
 	Epoch  int
 	Loss   float64
 	Millis float64
+	// CkptErr reports a failed checkpoint save at this epoch (training
+	// continued; the previous snapshot is still intact on disk).
+	CkptErr error
 }
 
 // Session is a live distributed training run.
 type Session struct {
-	ds   *Dataset
-	eng  *engine.Engine
-	coll *metrics.Collector
+	ds    *Dataset
+	eng   *engine.Engine
+	coll  *metrics.Collector
+	store *ckpt.Store
 
 	mu        sync.Mutex
 	lastEpoch int
@@ -258,11 +279,71 @@ func NewSession(ds *Dataset, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	var store *ckpt.Store
+	if cfg.CkptDir != "" {
+		store, err = ckpt.OpenStore(cfg.CkptDir)
+		if err != nil {
+			return nil, err
+		}
+		store.Retain = cfg.CkptRetain
+		opts.Ckpt = &ckpt.Saver{Store: store, Every: cfg.CkptEvery}
+	}
 	eng, err := engine.NewEngine(ds.inner, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{ds: ds, eng: eng, coll: coll}, nil
+	return &Session{ds: ds, eng: eng, coll: coll, store: store}, nil
+}
+
+// Resume restores the newest snapshot in Config.CkptDir and reports whether
+// one was loaded: (false, nil) means an empty checkpoint directory — the
+// normal state of a fresh run. A snapshot taken under a different dataset,
+// partitioning, model or seed is rejected with an error.
+func (s *Session) Resume() (bool, error) {
+	if s.store == nil {
+		return false, fmt.Errorf("neutronstar: session has no checkpoint directory (set Config.CkptDir)")
+	}
+	snap, err := s.store.LoadLatest()
+	if err != nil {
+		return false, err
+	}
+	if snap == nil {
+		return false, nil
+	}
+	if err := s.eng.Restore(snap); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	s.lastEpoch = snap.Epoch
+	if n := len(snap.History); n > 0 {
+		s.lastLoss = snap.History[n-1].Loss
+	}
+	s.mu.Unlock()
+	return true, nil
+}
+
+// Checkpoint forces an immediate snapshot save, regardless of the CkptEvery
+// cadence. The session must not be training concurrently.
+func (s *Session) Checkpoint() error {
+	if s.store == nil {
+		return fmt.Errorf("neutronstar: session has no checkpoint directory (set Config.CkptDir)")
+	}
+	_, err := s.store.Save(s.eng.Snapshot())
+	return err
+}
+
+// History returns every completed epoch's result, including epochs restored
+// from a snapshot — a resumed run reports a continuous loss curve.
+func (s *Session) History() []EpochResult {
+	hist := s.eng.History()
+	out := make([]EpochResult, 0, len(hist))
+	for _, st := range hist {
+		out = append(out, EpochResult{
+			Epoch: st.Epoch, Loss: st.Loss,
+			Millis: float64(st.Duration.Microseconds()) / 1000,
+		})
+	}
+	return out
 }
 
 func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
@@ -313,6 +394,13 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 	if err != nil {
 		return engine.Options{}, nil, err
 	}
+	var fault *comm.FaultSpec
+	if cfg.FaultSpec != "" {
+		fault, err = comm.ParseFaultSpec(cfg.FaultSpec)
+		if err != nil {
+			return engine.Options{}, nil, err
+		}
+	}
 	return engine.Options{
 		Workers:     cfg.Workers,
 		Mode:        mode,
@@ -332,6 +420,7 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 		Seed:        cfg.Seed,
 		MemBudget:   cfg.MemBudgetBytes,
 		Collector:   coll,
+		Fault:       fault,
 	}, coll, nil
 }
 
@@ -345,7 +434,8 @@ func (s *Session) Train(epochs int) []EpochResult {
 		s.mu.Unlock()
 		out = append(out, EpochResult{
 			Epoch: st.Epoch, Loss: st.Loss,
-			Millis: float64(st.Duration.Microseconds()) / 1000,
+			Millis:  float64(st.Duration.Microseconds()) / 1000,
+			CkptErr: st.CkptErr,
 		})
 	}
 	return out
