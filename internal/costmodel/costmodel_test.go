@@ -98,3 +98,27 @@ func TestSubtreeCounterDepthZero(t *testing.T) {
 		t.Fatal("depth 0 must be empty")
 	}
 }
+
+// TestCostBoundaries is the table of Eq. 1–2 edge cases: zero dimensions,
+// empty subtrees, zero-degree roots, and the degenerate all-zero environment.
+func TestCostBoundaries(t *testing.T) {
+	c := Costs{Tv: 3, Te: 5, Tc: 7}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"comm dim 0", c.CommCost(0), 0},
+		{"comm dim 1", c.CommCost(1), 7},
+		{"subtree empty", c.SubtreeCost(nil, nil, nil), 0},
+		{"subtree zero-degree root", c.SubtreeCost([]int{1}, []int{0}, []int{4}), 3 * 4},
+		{"subtree two levels", c.SubtreeCost([]int{1, 2}, []int{2, 3}, []int{4, 2}),
+			(3+2*5)*4 + (2*3+3*5)*2},
+		{"zero env", Costs{}.SubtreeCost([]int{5}, []int{9}, []int{4}), 0},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+}

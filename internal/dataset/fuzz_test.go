@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeGraphBytes renders one graph in the graph.txt wire form for corpus
+// seeding and round-trip comparison.
+func encodeGraphBytes(t testing.TB, d *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := encodeGraph(&buf, d.Graph); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzGraphRoundTrip feeds arbitrary bytes to the graph.txt decoder, mirrored
+// on internal/comm's wire-codec fuzzer. Malformed input must be rejected with
+// an error — never a panic, and never an allocation sized by an unbacked
+// header claim; input that decodes must survive an encode/decode round trip
+// exactly. The seed corpus is real exporter output: the same generator
+// family `nsgen -export` writes, at several shapes.
+func FuzzGraphRoundTrip(f *testing.F) {
+	seeds := []Spec{
+		{Name: "s", Vertices: 40, AvgDegree: 3, FeatureDim: 4, NumClasses: 3, HiddenDim: 4, Gen: GenSBM, Homophily: 0.8, Seed: 1},
+		{Name: "r", Vertices: 64, AvgDegree: 5, FeatureDim: 4, NumClasses: 3, HiddenDim: 4, Gen: GenRMAT, Seed: 2},
+		{Name: "tiny", Vertices: 2, AvgDegree: 1, FeatureDim: 2, NumClasses: 2, HiddenDim: 2, Gen: GenSBM, Homophily: 0.5, Seed: 3},
+	}
+	for _, spec := range seeds {
+		f.Add(encodeGraphBytes(f, Load(spec)))
+	}
+	// Hostile seeds: junk, a negative count, a truncated body, an oversized
+	// vertex claim, and an edge referencing a vertex out of range.
+	f.Add([]byte("not a graph at all"))
+	f.Add([]byte("-5 3\n0 1\n"))
+	f.Add([]byte("10 4\n0 1\n1 2\n"))
+	f.Add([]byte("999999999 0\n"))
+	f.Add([]byte("3 1\n0 7\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := decodeGraph(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is a valid outcome for arbitrary bytes
+		}
+		var buf bytes.Buffer
+		if err := encodeGraph(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := decodeGraph(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded graph failed: %v", err)
+		}
+		if again.NumVertices() != g.NumVertices() || again.NumEdges() != g.NumEdges() {
+			t.Fatalf("size drift: %d/%d vs %d/%d",
+				again.NumVertices(), again.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		a, b := again.Edges(), g.Edges()
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("edge %d drift: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// TestDecodeGraphHostileHeaders pins the decoder's rejection behavior on the
+// specific header attacks the fuzzer seeds: each must error cleanly.
+func TestDecodeGraphHostileHeaders(t *testing.T) {
+	cases := []string{
+		"",
+		"junk",
+		"-1 0\n",
+		"0 -1\n",
+		"2000000000 0\n",
+		"2 1\n",            // declares an edge it never provides
+		"2 1\n0 1\n1 0\n",  // provides more edges than declared
+		"2 1\n0 9\n",       // endpoint out of range
+		"2 1\nnope nope\n", // unparsable edge line
+	}
+	for _, in := range cases {
+		if _, err := decodeGraph(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("input %q decoded without error", in)
+		}
+	}
+}

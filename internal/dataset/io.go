@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -121,40 +122,54 @@ func readMeta(path string, d *Dataset) error {
 	return sc.Err()
 }
 
-func writeGraph(path string, g *graph.Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	fmt.Fprintf(w, "%d %d\n", g.NumVertices(), g.NumEdges())
+// maxTextVertices bounds the vertex count a graph.txt header may declare.
+// The graph builder allocates O(V) index arrays before any edge is read, so
+// without a bound a one-line hostile header commands gigabytes; the limit is
+// far above any dataset this text format is meant for.
+const maxTextVertices = 1 << 20
+
+// preallocEdgeCap bounds how much capacity the decoder reserves from the
+// declared edge count alone. Larger graphs still load — the slice grows as
+// real edge lines arrive — but a header cannot command an allocation the
+// body never backs.
+const preallocEdgeCap = 1 << 16
+
+func encodeGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges())
 	for _, e := range g.Edges() {
-		fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
+		fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
 	}
-	return w.Flush()
+	return bw.Flush()
 }
 
-func readGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
+// decodeGraph parses the graph.txt wire form. Arbitrary input must come back
+// as an error, never a panic or an allocation proportional to a number the
+// input merely claims (FuzzGraphRoundTrip enforces this).
+func decodeGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("dataset: empty graph file %s", path)
+		return nil, fmt.Errorf("dataset: empty graph data")
 	}
 	var nv, ne int
 	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &nv, &ne); err != nil {
 		return nil, fmt.Errorf("dataset: bad graph header %q: %w", sc.Text(), err)
 	}
-	edges := make([]graph.Edge, 0, ne)
+	if nv < 0 || ne < 0 {
+		return nil, fmt.Errorf("dataset: negative graph header %d %d", nv, ne)
+	}
+	if nv > maxTextVertices {
+		return nil, fmt.Errorf("dataset: header declares %d vertices (limit %d)", nv, maxTextVertices)
+	}
+	edges := make([]graph.Edge, 0, min(ne, preallocEdgeCap))
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
+		}
+		if len(edges) == ne {
+			return nil, fmt.Errorf("dataset: more edge lines than the %d declared", ne)
 		}
 		var s, d int32
 		if _, err := fmt.Sscanf(line, "%d %d", &s, &d); err != nil {
@@ -166,9 +181,31 @@ func readGraph(path string) (*graph.Graph, error) {
 		return nil, err
 	}
 	if len(edges) != ne {
-		return nil, fmt.Errorf("dataset: header declares %d edges, file has %d", ne, len(edges))
+		return nil, fmt.Errorf("dataset: header declares %d edges, data has %d", ne, len(edges))
 	}
 	return graph.FromEdges(nv, edges)
+}
+
+func writeGraph(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return encodeGraph(f, g)
+}
+
+func readGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := decodeGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return g, nil
 }
 
 func writeFeatures(path string, ftr *tensor.Tensor) error {

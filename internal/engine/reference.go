@@ -25,6 +25,29 @@ func ReferenceForward(g *graph.Graph, model *nn.Model, features *tensor.Tensor) 
 // Dropout is disabled so the comparison is deterministic.
 func ReferenceTrainStep(g *graph.Graph, model *nn.Model, features *tensor.Tensor,
 	labels []int32, trainMask []bool) float64 {
+	loss, _ := referenceStep(g, model, features, labels, trainMask, false)
+	return loss
+}
+
+// ReferenceBackward is ReferenceTrainStep with the input features registered
+// as a differentiable leaf: alongside the loss it returns dLoss/dFeatures,
+// the V x d^(0) gradient of the mean training loss with respect to every
+// vertex's raw feature row. Parameter gradients accumulate into
+// model.Params()[i].Grad exactly as in ReferenceTrainStep. The feature
+// gradient is what the testkit finite-difference checker validates per-vertex
+// — a regression in any backward dual (ScatterBackToEdge / GatherBySrc) shows
+// up here even when the parameter path happens to cancel it.
+func ReferenceBackward(g *graph.Graph, model *nn.Model, features *tensor.Tensor,
+	labels []int32, trainMask []bool) (float64, *tensor.Tensor) {
+	return referenceStep(g, model, features, labels, trainMask, true)
+}
+
+// referenceStep is the shared forward/backward ladder: one tape per layer,
+// gradients handed down through each layer's input leaf. When featGrad is
+// set, layer 0's input requires grad and its accumulated gradient is
+// returned (zero tensor if no gradient flowed).
+func referenceStep(g *graph.Graph, model *nn.Model, features *tensor.Tensor,
+	labels []int32, trainMask []bool, featGrad bool) (float64, *tensor.Tensor) {
 
 	type run struct {
 		tape *autograd.Tape
@@ -35,7 +58,7 @@ func ReferenceTrainStep(g *graph.Graph, model *nn.Model, features *tensor.Tensor
 	h := features
 	for li, layer := range model.Layers {
 		tape := autograd.NewTape()
-		in := tape.Leaf(h, li > 0, "h")
+		in := tape.Leaf(h, li > 0 || featGrad, "h")
 		out := forwardOnTape(g, layer, tape, in, false, nil)
 		runs = append(runs, run{tape: tape, in: in, out: out})
 		h = out.Value
@@ -53,7 +76,14 @@ func ReferenceTrainStep(g *graph.Graph, model *nn.Model, features *tensor.Tensor
 	for _, p := range model.Params() {
 		p.CollectGrad()
 	}
-	return float64(loss.Value.At(0, 0))
+	var fg *tensor.Tensor
+	if featGrad {
+		fg = runs[0].in.Grad
+		if fg == nil {
+			fg = tensor.New(features.Rows(), features.Cols())
+		}
+	}
+	return float64(loss.Value.At(0, 0)), fg
 }
 
 // referenceLayer evaluates one layer over the whole graph without autograd

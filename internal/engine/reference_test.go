@@ -94,3 +94,74 @@ func TestEngineTrainAfterEvaluateInterleaved(t *testing.T) {
 		t.Fatal("interleaved evaluate broke replica sync")
 	}
 }
+
+// TestReferenceBackwardMatchesFiniteDifference is the engine-local anchor for
+// the testkit harness (which builds on ReferenceBackward and so cannot be its
+// own oracle): both a parameter gradient and the feature gradient are checked
+// against central differences directly here.
+func TestReferenceBackwardMatchesFiniteDifference(t *testing.T) {
+	ds := testDataset(t, 30, 3, 65)
+	model := nn.MustNewModel(nn.GCN, []int{ds.Spec.FeatureDim, 6, ds.Spec.NumClasses}, 0, 5)
+	nn.ZeroGrads(model.Params())
+	lossAt := func() float64 {
+		logits := ReferenceForward(ds.Graph, model, ds.Features)
+		logp := tensor.LogSoftmaxRows(logits)
+		var sum float64
+		n := 0
+		for v := 0; v < logp.Rows(); v++ {
+			if !ds.TrainMask[v] {
+				continue
+			}
+			n++
+			sum -= float64(logp.At(v, int(ds.Labels[v])))
+		}
+		return sum / float64(n)
+	}
+	loss, featGrad := ReferenceBackward(ds.Graph, model, ds.Features, ds.Labels, ds.TrainMask)
+	if math.Abs(loss-lossAt()) > 1e-5*math.Max(1, math.Abs(loss)) {
+		t.Fatalf("backward loss %v, forward loss %v", loss, lossAt())
+	}
+	if featGrad.Rows() != ds.NumVertices() || featGrad.Cols() != ds.Spec.FeatureDim {
+		t.Fatalf("feature grad %dx%d", featGrad.Rows(), featGrad.Cols())
+	}
+	check := func(name string, x, analytic *tensor.Tensor) {
+		const h = 1e-3
+		data := x.Data()
+		for _, i := range []int{0, x.Len() / 2, x.Len() - 1} {
+			old := data[i]
+			data[i] = old + h
+			fp := lossAt()
+			data[i] = old - h
+			fm := lossAt()
+			data[i] = old
+			num := (fp - fm) / (2 * h)
+			ana := float64(analytic.Data()[i])
+			if diff := math.Abs(ana - num); diff > 1e-3*math.Max(0.05, math.Abs(ana)) {
+				t.Errorf("%s[%d]: analytic %v, numeric %v", name, i, ana, num)
+			}
+		}
+	}
+	check("w0", model.Params()[0].Value, model.Params()[0].Grad)
+	check("features", ds.Features, featGrad)
+}
+
+// TestReferenceBackwardLeavesTrainStepIntact pins the refactor: the loss
+// ReferenceTrainStep reports must equal ReferenceBackward's, and both must
+// produce identical parameter gradients.
+func TestReferenceBackwardLeavesTrainStepIntact(t *testing.T) {
+	ds := testDataset(t, 40, 3, 66)
+	a := nn.MustNewModel(nn.GIN, []int{ds.Spec.FeatureDim, 6, ds.Spec.NumClasses}, 0, 6)
+	b := nn.MustNewModel(nn.GIN, []int{ds.Spec.FeatureDim, 6, ds.Spec.NumClasses}, 0, 6)
+	nn.ZeroGrads(a.Params())
+	nn.ZeroGrads(b.Params())
+	la := ReferenceTrainStep(ds.Graph, a, ds.Features, ds.Labels, ds.TrainMask)
+	lb, _ := ReferenceBackward(ds.Graph, b, ds.Features, ds.Labels, ds.TrainMask)
+	if la != lb {
+		t.Fatalf("losses differ: %v vs %v", la, lb)
+	}
+	for i := range a.Params() {
+		if !a.Params()[i].Grad.Equal(b.Params()[i].Grad) {
+			t.Fatalf("param %d gradients differ", i)
+		}
+	}
+}

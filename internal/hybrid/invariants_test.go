@@ -1,0 +1,176 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"neutronstar/internal/costmodel"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/partition"
+)
+
+// TestDecisionPartitionInvariantAcrossModes sweeps every assignment mode,
+// several ratios and several memory budgets over the same graph and asserts
+// the structural invariant the engines rely on: for every worker and every
+// layer, each remote dependency lands in exactly one of R and C, both sorted
+// ascending.
+func TestDecisionPartitionInvariantAcrossModes(t *testing.T) {
+	g, p := testSetup(t, 160, 5, 4, 31)
+	type cfg struct {
+		name   string
+		mode   Mode
+		ratio  float64
+		budget int64
+	}
+	cfgs := []cfg{
+		{"hybrid", ModeHybrid, 0, 0},
+		{"hybrid/tight-budget", ModeHybrid, 0, 512},
+		{"hybrid/mid-budget", ModeHybrid, 0, 16 << 10},
+		{"allcache", ModeAllCache, 0, 0},
+		{"allcomm", ModeAllComm, 0, 0},
+		{"ratio/0", ModeRatio, 0, 0},
+		{"ratio/0.5", ModeRatio, 0.5, 0},
+		{"ratio/1", ModeRatio, 1, 0},
+	}
+	for _, c := range cfgs {
+		t.Run(c.name, func(t *testing.T) {
+			pl := planner(g, p, costmodel.Costs{Tv: 1e-8, Te: 2e-9, Tc: 3e-8})
+			pl.Ratio = c.ratio
+			pl.MemBudget = c.budget
+			ds, err := pl.DecideAll(c.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, d := range ds {
+				checkPartitionOfDeps(t, pl, w, d)
+				for l := range d.R {
+					assertAscending(t, "R", w, l, d.R[l])
+					assertAscending(t, "C", w, l, d.C[l])
+				}
+			}
+		})
+	}
+}
+
+func assertAscending(t *testing.T, set string, worker, layer int, s []int32) {
+	t.Helper()
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("worker %d layer %d: %s not ascending: %v", worker, layer+1, set, s)
+		}
+	}
+}
+
+// TestGreedyMatchesExactInExtremeRegimes pins Algorithm 4 against the
+// exhaustive solver where the optimum is unambiguous: when communication
+// dwarfs compute the optimal plan caches everything, and when communication
+// is free it communicates everything. The comparison is on EvaluateCost (the
+// shared cost semantics), not on the raw sets, because cost-equal ties can
+// legitimately differ.
+func TestGreedyMatchesExactInExtremeRegimes(t *testing.T) {
+	g, p := testSetup(t, 24, 2.0, 2, 33)
+	regimes := []struct {
+		name  string
+		costs costmodel.Costs
+	}{
+		{"comm-dominant", costmodel.Costs{Tv: 1e-9, Te: 1e-10, Tc: 1}},
+		{"comm-free", costmodel.Costs{Tv: 1, Te: 1, Tc: 1e-12}},
+	}
+	for _, r := range regimes {
+		t.Run(r.name, func(t *testing.T) {
+			pl := planner(g, p, r.costs)
+			for w := 0; w < p.NumParts; w++ {
+				exact, err := pl.ExactDecision(w, 1<<22)
+				if err != nil {
+					t.Skipf("instance too large for exact solver: %v", err)
+				}
+				greedy, err := pl.decideWorker(w, ModeHybrid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gc, _ := pl.EvaluateCost(w, greedy)
+				ec, _ := pl.EvaluateCost(w, exact)
+				if math.Abs(gc-ec) > 1e-12*math.Max(1, ec) {
+					t.Fatalf("worker %d: greedy cost %g, exact optimum %g", w, gc, ec)
+				}
+			}
+		})
+	}
+}
+
+// twoVertexPlanner builds the smallest instance with one remote dependency:
+// vertex 0 (worker 0, zero in-degree) feeds vertex 1 (worker 1).
+func twoVertexPlanner(costs costmodel.Costs, dims []int) *Planner {
+	g := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	p := &partition.Partition{
+		NumParts: 2,
+		Assign:   []int32{0, 1},
+		Parts:    [][]int32{{0}, {1}},
+	}
+	return &Planner{Graph: g, Part: p, Dims: dims, Costs: costs}
+}
+
+// TestCostTieGoesToComm pins the boundary of Algorithm 4 line 11: the greedy
+// caches strictly when t_r < t_c, so an exact tie falls to communication.
+// With a zero-in-degree dependency u, t_r^2(u) = Tv·d^(1) (Eq. 1 has no edge
+// term) and t_c^2(u) = Tc·d^(1) (Eq. 2) — setting Tv = Tc forces the tie.
+func TestCostTieGoesToComm(t *testing.T) {
+	pl := twoVertexPlanner(costmodel.Costs{Tv: 5e-8, Te: 1e-9, Tc: 5e-8}, []int{4, 4, 2})
+	d, err := pl.decideWorker(1, ModeHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1 is free to cache (features replicate at setup); layer 2 is the
+	// tie and must communicate.
+	if len(d.R[0]) != 1 || len(d.C[0]) != 0 {
+		t.Fatalf("layer 1: R=%v C=%v, want dep cached", d.R[0], d.C[0])
+	}
+	if len(d.C[1]) != 1 || len(d.R[1]) != 0 {
+		t.Fatalf("layer 2: R=%v C=%v, want tie communicated", d.R[1], d.C[1])
+	}
+	// Nudging Tv below Tc flips the same dependency to the cache side.
+	pl = twoVertexPlanner(costmodel.Costs{Tv: 5e-8 - 1e-12, Te: 1e-9, Tc: 5e-8}, []int{4, 4, 2})
+	d, err = pl.decideWorker(1, ModeHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.R[1]) != 1 {
+		t.Fatalf("layer 2 with t_r < t_c: R=%v C=%v, want dep cached", d.R[1], d.C[1])
+	}
+}
+
+// TestZeroDegreeDependencyCost checks Eq. 1 on a dependency whose subtree is
+// a single vertex with no in-edges: the modeled cost of caching it is exactly
+// the vertex term, with no edge contribution.
+func TestZeroDegreeDependencyCost(t *testing.T) {
+	costs := costmodel.Costs{Tv: 3e-8, Te: 7e-9, Tc: 1e-6}
+	dims := []int{4, 6, 2}
+	pl := twoVertexPlanner(costs, dims)
+	d := &Decision{R: [][]int32{nil, {0}}, C: [][]int32{{0}, nil}}
+	got, _ := pl.EvaluateCost(1, d)
+	want := costs.Tv * float64(dims[1]) // one vertex op at level 1, zero edges
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("zero-degree cached dep cost %g, want %g", got, want)
+	}
+}
+
+// TestSingleWorkerDegeneratePlan: with one partition there are no remote
+// dependencies, so every mode must produce empty sets and zero estimates.
+func TestSingleWorkerDegeneratePlan(t *testing.T) {
+	g, p := testSetup(t, 40, 3, 1, 35)
+	for _, mode := range []Mode{ModeHybrid, ModeAllCache, ModeAllComm, ModeRatio} {
+		pl := planner(g, p, costmodel.Costs{Tv: 1e-8, Te: 2e-9, Tc: 3e-8})
+		pl.Ratio = 0.5
+		ds, err := pl.DecideAll(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ds[0]
+		if d.NumCached() != 0 || d.NumComm() != 0 {
+			t.Fatalf("mode %d: R=%d C=%d deps on a single worker", mode, d.NumCached(), d.NumComm())
+		}
+		if d.CacheBytes != 0 || d.EstCacheCost != 0 || d.EstCommCost != 0 {
+			t.Fatalf("mode %d: nonzero estimates %d/%g/%g", mode, d.CacheBytes, d.EstCacheCost, d.EstCommCost)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package nn_test
+
+import (
+	"testing"
+
+	"neutronstar/internal/autograd"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/nn"
+	"neutronstar/internal/tensor"
+	"neutronstar/internal/testkit"
+)
+
+// layerFixture assembles the CSC arrays one ForwardCtx needs, on a small
+// graph with a hub, a self-loop, a multi-edge and an isolated vertex.
+func layerFixture() (g *graph.Graph, srcIdx, dstIdx, offsets []int32) {
+	g = graph.MustFromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 3, Dst: 1},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 2},
+		{Src: 3, Dst: 0}, {Src: 3, Dst: 0},
+	})
+	n := g.NumVertices()
+	offsets = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		for _, u := range g.InNeighbors(int32(v)) {
+			srcIdx = append(srcIdx, u)
+			dstIdx = append(dstIdx, int32(v))
+		}
+		offsets[v+1] = int32(len(srcIdx))
+	}
+	return g, srcIdx, dstIdx, offsets
+}
+
+// TestLayerForwardGradients differentiates every layer kind's full
+// EdgeStage+VertexStage data path with respect to the incoming vertex
+// representations (parameter gradients are covered end to end by
+// testkit.CheckModelGrads); a broken dual in any layer's op composition
+// surfaces here with the layer named.
+func TestLayerForwardGradients(t *testing.T) {
+	g, srcIdx, dstIdx, offsets := layerFixture()
+	norm, selfNorm := graph.GCNNormCoefficients(g)
+	h := tensor.RandNormal(g.NumVertices(), 4, 0, 1, tensor.NewRNG(21))
+	for i, kind := range nn.ModelKinds() {
+		layer := nn.MustNewModel(kind, []int{4, 3, 2}, 0, uint64(30+i)).Layers[0]
+		build := func(tp *autograd.Tape, xs []*autograd.Variable) *autograd.Variable {
+			z := xs[0]
+			if pt, ok := layer.(nn.PreTransformer); ok {
+				z = pt.PreTransform(tp, z, false, nil)
+			}
+			return layer.Forward(&nn.ForwardCtx{
+				Tape: tp, EdgeSrc: tp.Gather(z, srcIdx), Self: z,
+				Offsets: offsets, EdgeDst: dstIdx,
+				EdgeNorm: norm, SelfNorm: selfNorm,
+			})
+		}
+		for _, r := range testkit.CheckClosure("layer/"+string(kind), []*tensor.Tensor{h}, build, 77, 1e-3, 0) {
+			if r.RelErr >= 1e-3 {
+				t.Errorf("FAIL %s", r)
+			} else {
+				t.Logf("ok   %s", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package testkit
+
+import (
+	"testing"
+
+	"neutronstar/internal/nn"
+)
+
+// TestModelGradientsFast perturbs a strided subset of every parameter tensor
+// and the vertex features for two architectures — enough to catch a broken
+// dual in tier-1 without paying for exhaustive perturbation.
+func TestModelGradientsFast(t *testing.T) {
+	ds := SmallDataset(24, 3, 7)
+	for _, kind := range []nn.ModelKind{nn.GCN, nn.GAT} {
+		for _, r := range CheckModelGrads(ds, kind, 11, 2e-3, 8) {
+			if r.RelErr >= gradTol {
+				t.Errorf("FAIL %s", r)
+			} else {
+				t.Logf("ok   %s", r)
+			}
+		}
+	}
+}
+
+// TestModelGradientsFull checks every element of every parameter and every
+// feature for all four model kinds.
+func TestModelGradientsFull(t *testing.T) {
+	SkipUnlessFull(t)
+	ds := SmallDataset(24, 3, 7)
+	for _, kind := range nn.ModelKinds() {
+		for _, r := range CheckModelGrads(ds, kind, 11, 2e-3, 0) {
+			if r.RelErr >= gradTol {
+				t.Errorf("FAIL %s", r)
+			} else {
+				t.Logf("ok   %s", r)
+			}
+		}
+	}
+}

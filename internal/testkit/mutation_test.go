@@ -1,0 +1,65 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/tensor"
+)
+
+// TestBrokenBackwardCaughtAndShrunk is the harness's self-test: a deliberately
+// broken Gather backward (assignment instead of accumulation, the classic
+// scatter-dual mistake — it silently drops all but one contribution when a
+// vertex sources several edges) must be caught by the gradient checker on
+// generated graphs, and the shrinker must reduce the failure to the minimal
+// witness: two edges sharing a source.
+func TestBrokenBackwardCaughtAndShrunk(t *testing.T) {
+	prop := func(ds *dataset.Dataset) error {
+		src := ds.Graph.InSources()
+		if len(src) == 0 {
+			return nil
+		}
+		dim := ds.Features.Cols()
+		w := tensor.RandNormal(len(src), dim, 0, 1, tensor.NewRNG(0xBAD))
+		// Forward: the gathered edge rows contracted against fixed weights —
+		// linear in the features, so central differences are exact.
+		loss := func() float64 {
+			var s float64
+			for i, u := range src {
+				row, wr := ds.Features.Row(int(u)), w.Row(i)
+				for j := range row {
+					s += float64(row[j]) * float64(wr[j])
+				}
+			}
+			return s
+		}
+		// The mutant backward: overwrite instead of accumulate.
+		buggy := tensor.New(ds.Graph.NumVertices(), dim)
+		for i, u := range src {
+			copy(buggy.Row(int(u)), w.Row(i))
+		}
+		if rep := CheckTensorGrad("buggy_gather", ds.Features, buggy, loss, 1e-3, 0); rep.RelErr >= gradTol {
+			return fmt.Errorf("gradient mismatch: %s", rep)
+		}
+		return nil
+	}
+
+	ce := Check(50, 0xFEED, GenSpec{MaxVertices: 12}, prop)
+	if ce == nil {
+		t.Fatal("broken Gather backward was not caught on 50 generated graphs")
+	}
+	t.Logf("minimal failing graph:\n%s", ce)
+	g := ce.Dataset.Graph
+	if g.NumEdges() != 2 || g.NumVertices() > 3 {
+		t.Errorf("counterexample not minimal: %d vertices, %d edges (want 2 edges sharing a source on <=3 vertices)",
+			g.NumVertices(), g.NumEdges())
+	}
+	srcs := map[int32]int{}
+	for _, e := range g.Edges() {
+		srcs[e.Src]++
+	}
+	if len(srcs) != 1 {
+		t.Errorf("counterexample edges do not share a source: %v", g.Edges())
+	}
+}

@@ -1,0 +1,32 @@
+package testkit
+
+import "testing"
+
+// gradTol is the acceptance bar: every analytic gradient must land within
+// 1e-3 relative error of the central difference.
+const gradTol = 1e-3
+
+func TestDecoupledOpGradients(t *testing.T) {
+	for _, r := range CheckDecoupledOps(42, 2e-3) {
+		if r.RelErr >= gradTol {
+			t.Errorf("FAIL %s", r)
+		} else {
+			t.Logf("ok   %s", r)
+		}
+	}
+}
+
+// TestDecoupledOpGradientsSeeds re-runs the per-op checks under more seeds so
+// argmax routing (ScatterMaxRows) and softmax saturation see different
+// configurations. Full sweep only: the single-seed run above already covers
+// every dual.
+func TestDecoupledOpGradientsSeeds(t *testing.T) {
+	SkipUnlessFull(t)
+	for seed := uint64(100); seed < 110; seed++ {
+		for _, r := range CheckDecoupledOps(seed, 2e-3) {
+			if r.RelErr >= gradTol {
+				t.Errorf("seed %d: FAIL %s", seed, r)
+			}
+		}
+	}
+}

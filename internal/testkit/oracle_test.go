@@ -1,0 +1,74 @@
+package testkit
+
+import (
+	"testing"
+
+	"neutronstar/internal/comm"
+	"neutronstar/internal/nn"
+)
+
+func requireEquivalence(t *testing.T, opt OracleOptions) {
+	t.Helper()
+	ds := SmallDataset(32, 4, 11)
+	runs, err := RunEquivalence(ds, opt)
+	if err != nil {
+		t.Fatalf("cross-policy divergence: %v", err)
+	}
+	for _, r := range runs {
+		t.Logf("%-20s losses=%v", r.Label, r.Losses)
+	}
+}
+
+// TestCrossPolicyEquivalence is the tier-1 oracle run: reference vs 1-worker
+// vs 4-worker DepCache vs DepComm vs hybrid on GCN.
+func TestCrossPolicyEquivalence(t *testing.T) {
+	requireEquivalence(t, OracleOptions{Seed: 3})
+}
+
+// TestCrossPolicyEquivalenceUnderFaults adds drop/dup/delay injection on the
+// fabric. Faults perturb timing and retries, never payload content, so the
+// fault-injected run must match the reference exactly as tightly.
+func TestCrossPolicyEquivalenceUnderFaults(t *testing.T) {
+	fault, err := comm.ParseFaultSpec("drop=0.05,delay=100us,jitter=500us,dup=0.02,seed=9,timeout=500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalence(t, OracleOptions{Seed: 3, Fault: fault})
+}
+
+// TestCrossPolicyEquivalenceResume kills a checkpointing run halfway and
+// resumes a fresh engine from the latest snapshot; the stitched trajectory
+// must match the uninterrupted reference.
+func TestCrossPolicyEquivalenceResume(t *testing.T) {
+	requireEquivalence(t, OracleOptions{Seed: 3, Epochs: 4, CkptDir: t.TempDir()})
+}
+
+// TestCrossPolicyEquivalenceSweep is the full matrix: every model kind,
+// several worker counts, faults and resume together.
+func TestCrossPolicyEquivalenceSweep(t *testing.T) {
+	SkipUnlessFull(t)
+	fault, err := comm.ParseFaultSpec("drop=0.05,delay=100us,jitter=500us,dup=0.02,seed=9,timeout=500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range nn.ModelKinds() {
+		for _, workers := range []int{2, 4, 5} {
+			opt := OracleOptions{
+				Model: kind, Workers: workers, Epochs: 4, Seed: 3,
+				Fault: fault, CkptDir: t.TempDir(),
+			}
+			if kind == nn.GAT {
+				// GAT's attention vectors can have gradients at float32 noise
+				// level; Adam's normalised update (lr·m/√v) then amplifies a
+				// reassociation-order difference between policies to O(lr) on
+				// those parameters even though every per-epoch loss agrees to
+				// 1e-5. Widen only the parameter tolerance (the loss bar stays
+				// strict) — see the tolerance policy in DESIGN.md §11.
+				opt.ParamTol = 1e-2
+			}
+			t.Run(string(kind)+"/"+string(rune('0'+workers))+"w", func(t *testing.T) {
+				requireEquivalence(t, opt)
+			})
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package testkit
+
+import (
+	"math"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/tensor"
+)
+
+// GenSpec bounds the random graphs the property-based generator draws.
+// Every structural hazard the engines must survive is represented: skewed
+// degree distributions (hubs concentrate dependency subtrees), disconnected
+// components (partitions with no cross traffic), self-loops (src == dst
+// edges that are always local), multi-edges (duplicate gather sources) and
+// zero-degree vertices (rows that aggregate nothing and feed nothing).
+type GenSpec struct {
+	// MaxVertices caps |V| (default 40; at least 2 vertices are drawn).
+	MaxVertices int
+	// MaxAvgDegree caps the drawn average degree (default 4).
+	MaxAvgDegree float64
+	// SelfLoopProb is the per-edge probability of forcing dst = src
+	// (default 0.08).
+	SelfLoopProb float64
+	// MaxComponents caps the number of disconnected id-range components
+	// (default 3).
+	MaxComponents int
+	// FeatureDim/NumClasses/HiddenDim shape the synthesized dataset
+	// (defaults 5/3/4).
+	FeatureDim, NumClasses, HiddenDim int
+}
+
+func (s GenSpec) withDefaults() GenSpec {
+	if s.MaxVertices < 2 {
+		s.MaxVertices = 40
+	}
+	if s.MaxAvgDegree <= 0 {
+		s.MaxAvgDegree = 4
+	}
+	if s.SelfLoopProb == 0 {
+		s.SelfLoopProb = 0.08
+	}
+	if s.MaxComponents <= 0 {
+		s.MaxComponents = 3
+	}
+	if s.FeatureDim <= 0 {
+		s.FeatureDim = 5
+	}
+	if s.NumClasses <= 0 {
+		s.NumClasses = 3
+	}
+	if s.HiddenDim <= 0 {
+		s.HiddenDim = 4
+	}
+	return s
+}
+
+// RandomGraph draws one graph from spec using rng. Vertex ids are split into
+// contiguous component ranges with no cross-component edges; within a
+// component, sources follow a cubed-uniform rank (heavy skew: a few hubs
+// feed most edges) and destinations are uniform. Duplicate draws yield
+// multi-edges; vertices the edge sampler never touches remain zero-degree.
+func RandomGraph(rng *tensor.RNG, spec GenSpec) *graph.Graph {
+	spec = spec.withDefaults()
+	n := 2 + rng.Intn(spec.MaxVertices-1)
+	comps := 1 + rng.Intn(spec.MaxComponents)
+	if comps > n {
+		comps = n
+	}
+	// Component boundaries: comps contiguous, non-empty id ranges.
+	bounds := make([]int, 0, comps+1)
+	bounds = append(bounds, 0)
+	for c := 1; c < comps; c++ {
+		lo := bounds[c-1] + 1
+		hi := n - (comps - c)
+		bounds = append(bounds, lo+rng.Intn(hi-lo+1))
+	}
+	bounds = append(bounds, n)
+
+	var edges []graph.Edge
+	for c := 0; c < comps; c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		m := hi - lo
+		if m < 1 {
+			continue
+		}
+		numEdges := int(float64(m) * spec.MaxAvgDegree * rng.Float64())
+		for i := 0; i < numEdges; i++ {
+			u := rng.Float64()
+			src := lo + int(u*u*u*float64(m)) // rank-skewed: low ids are hubs
+			if src >= hi {
+				src = hi - 1
+			}
+			dst := lo + rng.Intn(m)
+			if rng.Float64() < spec.SelfLoopProb {
+				dst = src
+			}
+			edges = append(edges, graph.Edge{Src: int32(src), Dst: int32(dst)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// RandomDataset wraps a RandomGraph in a trainable dataset: seeded normal
+// features, uniform labels, and a random train mask guaranteed non-empty
+// (the remainder splits between val and test).
+func RandomDataset(rng *tensor.RNG, spec GenSpec) *dataset.Dataset {
+	spec = spec.withDefaults()
+	g := RandomGraph(rng, spec)
+	n := g.NumVertices()
+	d := &dataset.Dataset{
+		Spec: dataset.Spec{
+			Name: "propgen", Vertices: n,
+			AvgDegree:  float64(g.NumEdges()) / math.Max(1, float64(n)),
+			FeatureDim: spec.FeatureDim, NumClasses: spec.NumClasses,
+			HiddenDim: spec.HiddenDim,
+		},
+		Graph:    g,
+		Features: tensor.RandNormal(n, spec.FeatureDim, 0, 1, rng),
+		Labels:   make([]int32, n),
+	}
+	d.TrainMask = make([]bool, n)
+	d.ValMask = make([]bool, n)
+	d.TestMask = make([]bool, n)
+	anyTrain := false
+	for v := 0; v < n; v++ {
+		d.Labels[v] = int32(rng.Intn(spec.NumClasses))
+		switch rng.Intn(3) {
+		case 0, 1:
+			d.TrainMask[v] = true
+			anyTrain = true
+		case 2:
+			d.ValMask[v] = true
+		}
+	}
+	if !anyTrain {
+		d.TrainMask[0] = true
+	}
+	return d
+}

@@ -1,0 +1,176 @@
+package testkit
+
+import (
+	"fmt"
+	"strings"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/tensor"
+)
+
+// Property is a predicate over generated datasets: nil means it held, an
+// error describes the violation. Check calls it on shrunk candidates too, so
+// it must tolerate any structurally valid dataset (down to one vertex, zero
+// edges).
+type Property func(ds *dataset.Dataset) error
+
+// Counterexample is the minimal failing dataset Check converged to.
+type Counterexample struct {
+	// Dataset is the shrunk failing input.
+	Dataset *dataset.Dataset
+	// Err is the property violation on Dataset.
+	Err error
+	// Trial is the index of the random draw that first failed.
+	Trial int
+	// Shrinks counts the accepted reduction steps from the original draw.
+	Shrinks int
+}
+
+func (c *Counterexample) String() string {
+	g := c.Dataset.Graph
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample (trial %d, %d shrinks): %d vertices, %d edges\n",
+		c.Trial, c.Shrinks, g.NumVertices(), g.NumEdges())
+	b.WriteString("  edges:")
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, " %d->%d", e.Src, e.Dst)
+	}
+	b.WriteString("\n  train:")
+	for v, m := range c.Dataset.TrainMask {
+		if m {
+			fmt.Fprintf(&b, " %d", v)
+		}
+	}
+	fmt.Fprintf(&b, "\n  violation: %v", c.Err)
+	return b.String()
+}
+
+// Check draws trials datasets from spec and evaluates prop on each. The first
+// violation is shrunk to a (locally) minimal counterexample and returned; nil
+// means the property held on every draw. Each trial reseeds deterministically
+// from seed, so a failure reproduces without reference to earlier trials.
+func Check(trials int, seed uint64, spec GenSpec, prop Property) *Counterexample {
+	for trial := 0; trial < trials; trial++ {
+		rng := tensor.NewRNG(seed + uint64(trial)*0x9E3779B97F4A7C15)
+		ds := RandomDataset(rng, spec)
+		if err := prop(ds); err != nil {
+			min, minErr, shrinks := Shrink(ds, err, prop)
+			return &Counterexample{Dataset: min, Err: minErr, Trial: trial, Shrinks: shrinks}
+		}
+	}
+	return nil
+}
+
+// maxShrinkSteps bounds accepted reductions; a graph of a few dozen vertices
+// reaches a fixpoint in far fewer.
+const maxShrinkSteps = 400
+
+// Shrink greedily minimises a failing dataset with delta-debugging-style
+// chunk removal: it alternately deletes contiguous vertex ranges (reindexing
+// the survivors and dropping incident edges) and contiguous edge ranges,
+// halving the chunk size down to 1, restarting whenever a candidate still
+// fails, until no single removal preserves the failure.
+func Shrink(ds *dataset.Dataset, err error, prop Property) (*dataset.Dataset, error, int) {
+	shrinks := 0
+	for shrinks < maxShrinkSteps {
+		if cand, candErr := shrinkStep(ds, prop); cand != nil {
+			ds, err = cand, candErr
+			shrinks++
+			continue
+		}
+		break
+	}
+	return ds, err, shrinks
+}
+
+// shrinkStep returns the first strictly smaller failing candidate, or nil if
+// no chunk removal preserves the failure.
+func shrinkStep(ds *dataset.Dataset, prop Property) (*dataset.Dataset, error) {
+	n := ds.Graph.NumVertices()
+	for size := n / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= n; start += size {
+			if size == n { // must keep at least one vertex
+				continue
+			}
+			cand := removeVertexRange(ds, start, size)
+			if candErr := prop(cand); candErr != nil {
+				return cand, candErr
+			}
+		}
+	}
+	ne := ds.Graph.NumEdges()
+	for size := max(ne/2, 1); size >= 1; size /= 2 {
+		for start := 0; start+size <= ne; start += size {
+			cand := removeEdgeRange(ds, start, size)
+			if candErr := prop(cand); candErr != nil {
+				return cand, candErr
+			}
+		}
+	}
+	return nil, nil
+}
+
+// removeVertexRange deletes vertices [start, start+size), reindexes the
+// survivors and drops every incident edge, slicing features/labels/masks to
+// match.
+func removeVertexRange(ds *dataset.Dataset, start, size int) *dataset.Dataset {
+	n := ds.Graph.NumVertices()
+	remap := make([]int32, n)
+	kept := 0
+	for v := 0; v < n; v++ {
+		if v >= start && v < start+size {
+			remap[v] = -1
+			continue
+		}
+		remap[v] = int32(kept)
+		kept++
+	}
+	var edges []graph.Edge
+	for _, e := range ds.Graph.Edges() {
+		s, d := remap[e.Src], remap[e.Dst]
+		if s < 0 || d < 0 {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: s, Dst: d})
+	}
+	out := &dataset.Dataset{
+		Spec:     ds.Spec,
+		Graph:    graph.MustFromEdges(kept, edges),
+		Features: tensor.New(kept, ds.Spec.FeatureDim),
+		Labels:   make([]int32, kept),
+	}
+	out.Spec.Vertices = kept
+	out.TrainMask = make([]bool, kept)
+	out.ValMask = make([]bool, kept)
+	out.TestMask = make([]bool, kept)
+	anyTrain := false
+	for v := 0; v < n; v++ {
+		w := remap[v]
+		if w < 0 {
+			continue
+		}
+		copy(out.Features.Row(int(w)), ds.Features.Row(v))
+		out.Labels[w] = ds.Labels[v]
+		out.TrainMask[w] = ds.TrainMask[v]
+		out.ValMask[w] = ds.ValMask[v]
+		out.TestMask[w] = ds.TestMask[v]
+		anyTrain = anyTrain || ds.TrainMask[v]
+	}
+	if !anyTrain {
+		out.TrainMask[0] = true
+	}
+	return out
+}
+
+// removeEdgeRange deletes edges [start, start+size) of the graph's canonical
+// edge order, keeping the vertex set (and everything attached to it) intact.
+func removeEdgeRange(ds *dataset.Dataset, start, size int) *dataset.Dataset {
+	all := ds.Graph.Edges()
+	edges := make([]graph.Edge, 0, len(all)-size)
+	edges = append(edges, all[:start]...)
+	edges = append(edges, all[start+size:]...)
+	out := *ds
+	out.Graph = graph.MustFromEdges(ds.Graph.NumVertices(), edges)
+	return &out
+}
