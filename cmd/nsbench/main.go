@@ -7,6 +7,12 @@
 //	nsbench -exp fig2a
 //	nsbench -exp fig10 -workers 8 -graphs google,reddit
 //	nsbench -exp all -quick
+//
+// With -json the paper experiments are skipped and the fixed perf-smoke
+// pipeline runs instead, writing a schema-versioned BENCH.json document
+// (per-stage medians, traffic, cost-model residuals) for tools/benchdiff:
+//
+//	nsbench -json BENCH.json -workers 4
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"neutronstar/internal/bench"
+	"neutronstar/internal/dataset"
 	"neutronstar/internal/experiments"
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
@@ -29,10 +37,18 @@ func main() {
 		epochs    = flag.Int("epochs", 3, "measured epochs per configuration")
 		graphs    = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
 		quick     = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
+		jsonOut   = flag.String("json", "", "write the perf-smoke BENCH.json document to this path and exit (ignores -exp)")
 		trace     = flag.String("trace", "", "write a Chrome trace of all experiment engines to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := writeBenchDoc(*jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "nsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -62,7 +78,7 @@ func main() {
 	if *debugAddr != "" {
 		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any {
 			return map[string]any{"experiment": current.Load()}
-		})
+		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -112,6 +128,32 @@ func main() {
 		current.Store(name)
 		runExperiment(name, sc, *quick)
 	}
+}
+
+// writeBenchDoc runs the fixed perf-smoke pipeline and writes BENCH.json.
+// The workload and run set are pinned (see internal/bench) so documents from
+// different commits are comparable; only the cluster size is adjustable.
+func writeBenchDoc(path string, workers int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	ds := dataset.Load(bench.BenchSpec())
+	doc, err := bench.Execute(ds, bench.DefaultRuns(workers))
+	if err != nil {
+		return err
+	}
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	if err := doc.WriteFile(path); err != nil {
+		return err
+	}
+	for _, r := range doc.Runs {
+		fmt.Printf("%-14s wall_median=%.4fs epochs/s=%.2f bytes/epoch=%d coverage=%.3f\n",
+			r.Name, r.WallMedianSeconds, r.EpochsPerSec, r.BytesPerEpoch, r.StageCoverage)
+	}
+	fmt.Printf("bench document written to %s\n", path)
+	return nil
 }
 
 func runExperiment(name string, sc experiments.Scale, quick bool) {

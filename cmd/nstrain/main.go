@@ -118,13 +118,15 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any { return s.Status() })
+		srv, err := obs.NewServer(*debugAddr, obs.Default(),
+			func() any { return s.Status() },
+			func() any { return s.FlightTimeline() })
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
 		log.Info("debug server listening", "addr", srv.Addr(),
-			"endpoints", "/metrics /status /healthz /debug/pprof/")
+			"endpoints", "/metrics /status /epochs /healthz /debug/pprof/")
 	}
 
 	cached, communicated := s.DependencySummary()
@@ -156,6 +158,22 @@ func main() {
 		}
 		f.Close()
 		log.Info("trace written", "path", *trace)
+	}
+	// End-of-run flight report: where the epochs went (per stage), how large
+	// the messages were, and how well the planner's cost model predicted it.
+	for _, sb := range s.StageReport() {
+		log.Info("stage", "name", sb.Stage, "sec_per_epoch", sb.Seconds,
+			"bytes_per_epoch", sb.Bytes, "msgs_per_epoch", sb.Msgs)
+	}
+	msgBytes := obs.Default().Histogram("ns_comm_message_bytes",
+		"Wire size of sent messages.", obs.SizeBuckets)
+	if msgBytes.Count() > 0 {
+		log.Info("message sizes", "count", msgBytes.Count(),
+			"p50_bytes", msgBytes.Quantile(0.5), "p90_bytes", msgBytes.Quantile(0.9),
+			"p99_bytes", msgBytes.Quantile(0.99))
+	}
+	for _, line := range s.CostSummary() {
+		log.Info("cost model", "summary", line)
 	}
 	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
 		"val", s.Accuracy(neutronstar.SplitVal),

@@ -1,0 +1,57 @@
+package bench
+
+import "fmt"
+
+// Delta is one metric comparison between a baseline run and a current run.
+type Delta struct {
+	Run    string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// Ratio returns New/Old (Inf-safe: 0 baseline with non-zero current reports
+// a large ratio rather than dividing by zero).
+func (d Delta) Ratio() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return d.New / d.Old
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s/%s: %.6g -> %.6g (%.2fx)", d.Run, d.Metric, d.Old, d.New, d.Ratio())
+}
+
+// Compare evaluates cur against base run-by-run (matched by name) and
+// returns the regressions: metrics where cur exceeds base by more than tol
+// (e.g. tol=0.15 flags >15% slower or >15% more traffic). Runs present in
+// only one document are skipped — adding or removing a configuration is not
+// a regression. The compared metrics are wall_median_seconds and
+// bytes_per_epoch: time and traffic, the two axes the paper optimises.
+func Compare(base, cur *Doc, tol float64) []Delta {
+	byName := make(map[string]*Run, len(base.Runs))
+	for i := range base.Runs {
+		byName[base.Runs[i].Name] = &base.Runs[i]
+	}
+	var regs []Delta
+	for i := range cur.Runs {
+		c := &cur.Runs[i]
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if d := (Delta{Run: c.Name, Metric: "wall_median_seconds",
+			Old: b.WallMedianSeconds, New: c.WallMedianSeconds}); d.Ratio() > 1+tol {
+			regs = append(regs, d)
+		}
+		if d := (Delta{Run: c.Name, Metric: "bytes_per_epoch",
+			Old: float64(b.BytesPerEpoch), New: float64(c.BytesPerEpoch)}); d.Ratio() > 1+tol {
+			regs = append(regs, d)
+		}
+	}
+	return regs
+}

@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+func TestCompareIdenticalDocsClean(t *testing.T) {
+	if regs := Compare(goldenDoc(), goldenDoc(), 0.15); len(regs) != 0 {
+		t.Fatalf("identical docs regressed: %v", regs)
+	}
+}
+
+func TestCompareFlagsWallRegression(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+	cur.Runs[0].WallMedianSeconds = base.Runs[0].WallMedianSeconds * 1.5
+	regs := Compare(base, cur, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", regs)
+	}
+	if regs[0].Run != "hybrid-w4" || regs[0].Metric != "wall_median_seconds" {
+		t.Fatalf("flagged %s/%s", regs[0].Run, regs[0].Metric)
+	}
+}
+
+func TestCompareFlagsByteRegression(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+	cur.Runs[0].BytesPerEpoch = base.Runs[0].BytesPerEpoch * 2
+	regs := Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "bytes_per_epoch" {
+		t.Fatalf("regressions = %v, want one bytes_per_epoch delta", regs)
+	}
+}
+
+func TestCompareWithinToleranceClean(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+	cur.Runs[0].WallMedianSeconds = base.Runs[0].WallMedianSeconds * 1.10
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("+10%% flagged at 15%% tolerance: %v", regs)
+	}
+	// Improvements are never regressions.
+	cur.Runs[0].WallMedianSeconds = base.Runs[0].WallMedianSeconds * 0.5
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("a speedup was flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsUnmatchedRuns(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+	cur.Runs[0].Name = "brand-new-config"
+	cur.Runs[0].WallMedianSeconds *= 100
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("unmatched run compared: %v", regs)
+	}
+}
+
+func TestDeltaRatioZeroBaseline(t *testing.T) {
+	// A run that moved zero bytes at baseline and now moves some must be a
+	// huge ratio, not a division by zero.
+	d := Delta{Old: 0, New: 10}
+	if d.Ratio() < 1e6 {
+		t.Fatalf("ratio = %g", d.Ratio())
+	}
+	if (Delta{Old: 0, New: 0}).Ratio() != 1 {
+		t.Fatal("0/0 ratio should be 1")
+	}
+}

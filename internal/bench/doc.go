@@ -1,0 +1,192 @@
+// Package bench defines the machine-readable benchmark document (BENCH.json)
+// and the pipeline that produces and compares it. The document is the
+// repository's performance contract: nsbench -json emits it, tools/benchdiff
+// compares two of them, and CI runs both on every change.
+//
+// Schema stability rules:
+//
+//   - SchemaVersion bumps on any breaking change (field rename/removal or a
+//     semantic change to an existing field). Adding fields is non-breaking.
+//   - Stage names come from obs.StageNames() and are part of the contract —
+//     renaming a stage is a schema break.
+//   - All durations are seconds (float64), all traffic is bytes (int64).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"neutronstar/internal/obs"
+)
+
+// SchemaVersion is the current BENCH.json schema version.
+const SchemaVersion = 1
+
+// Host records where the document was produced. Comparisons across different
+// hosts are informational, not regressions.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentHost captures the running process's host metadata.
+func CurrentHost() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// GraphInfo describes the benchmark workload.
+type GraphInfo struct {
+	Name       string `json:"name"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	FeatureDim int    `json:"feature_dim"`
+	HiddenDim  int    `json:"hidden_dim"`
+	Classes    int    `json:"classes"`
+	Layers     int    `json:"layers"`
+}
+
+// StageSummary aggregates one stage across the measured epochs of a run.
+type StageSummary struct {
+	Stage string `json:"stage"`
+	// MedianSeconds is the median over epochs of the stage's total seconds
+	// (summed across workers and layers within each epoch).
+	MedianSeconds float64 `json:"median_seconds"`
+	MeanSeconds   float64 `json:"mean_seconds"`
+	// BytesPerEpoch / MsgsPerEpoch are per-epoch means.
+	BytesPerEpoch int64 `json:"bytes_per_epoch,omitempty"`
+	MsgsPerEpoch  int64 `json:"msgs_per_epoch,omitempty"`
+}
+
+// FactorSet is a JSON-stable rendering of costmodel.Costs.
+type FactorSet struct {
+	Tv float64 `json:"tv"`
+	Te float64 `json:"te"`
+	Tc float64 `json:"tc"`
+}
+
+// ResidualSummary condenses the cost-model validator's output.
+type ResidualSummary struct {
+	// FitMethod is how the empirical factors were recovered: "least_squares",
+	// "scaled", or "probe" (nothing measurable).
+	FitMethod string    `json:"fit_method"`
+	Probed    FactorSet `json:"probed"`
+	Fitted    FactorSet `json:"fitted"`
+	// Max absolute per-layer residuals, (meas−pred)/pred.
+	MaxAbsComputeResidual float64 `json:"max_abs_compute_residual"`
+	MaxAbsCommResidual    float64 `json:"max_abs_comm_residual"`
+	// Counterfactual plan diff: decisions that flip when Algorithm 4 runs
+	// under the fitted factors instead of the probed ones.
+	FlipsCacheToComm int `json:"flips_cache_to_comm"`
+	FlipsCommToCache int `json:"flips_comm_to_cache"`
+	Slots            int `json:"slots"`
+}
+
+// Run is one benchmark configuration's result.
+type Run struct {
+	Name    string `json:"name"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	// Epochs is the number of measured (post-warmup) epochs.
+	Epochs            int     `json:"epochs"`
+	WallMedianSeconds float64 `json:"wall_median_seconds"`
+	WallMeanSeconds   float64 `json:"wall_mean_seconds"`
+	EpochsPerSec      float64 `json:"epochs_per_sec"`
+	// BytesPerEpoch is the per-epoch mean of total attributed traffic (each
+	// logical message counted once on the sender and once on the receiver).
+	BytesPerEpoch int64   `json:"bytes_per_epoch"`
+	FinalLoss     float64 `json:"final_loss"`
+	// StageCoverage is Σ stage seconds (excluding checkpoint) divided by
+	// workers × wall — the accounting identity; ~1.0 when attribution is
+	// gap-free.
+	StageCoverage float64        `json:"stage_coverage"`
+	Stages        []StageSummary `json:"stages"`
+	Residuals     *ResidualSummary `json:"residuals,omitempty"`
+}
+
+// Doc is the top-level BENCH.json document.
+type Doc struct {
+	SchemaVersion int       `json:"schema_version"`
+	Graph         GraphInfo `json:"graph"`
+	Host          Host      `json:"host"`
+	Runs          []Run     `json:"runs"`
+}
+
+// Validate checks the structural contract benchdiff hard-fails on. It does
+// not judge performance — only that the document is well-formed.
+func (d *Doc) Validate() error {
+	if d.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, this tool understands %d", d.SchemaVersion, SchemaVersion)
+	}
+	if len(d.Runs) == 0 {
+		return fmt.Errorf("bench: document has no runs")
+	}
+	known := make(map[string]bool)
+	for _, s := range obs.StageNames() {
+		known[s] = true
+	}
+	seen := make(map[string]bool)
+	for i := range d.Runs {
+		r := &d.Runs[i]
+		if r.Name == "" {
+			return fmt.Errorf("bench: run %d has no name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("bench: duplicate run name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Workers <= 0 {
+			return fmt.Errorf("bench: run %q: workers = %d", r.Name, r.Workers)
+		}
+		if r.Epochs <= 0 {
+			return fmt.Errorf("bench: run %q: epochs = %d", r.Name, r.Epochs)
+		}
+		if r.WallMedianSeconds <= 0 {
+			return fmt.Errorf("bench: run %q: wall_median_seconds = %g", r.Name, r.WallMedianSeconds)
+		}
+		for _, s := range r.Stages {
+			if !known[s.Stage] {
+				return fmt.Errorf("bench: run %q: unknown stage %q", r.Name, s.Stage)
+			}
+			if s.MedianSeconds < 0 || s.MeanSeconds < 0 {
+				return fmt.Errorf("bench: run %q stage %q: negative seconds", r.Name, s.Stage)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFile parses and validates a BENCH.json document.
+func ReadFile(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// WriteFile writes the document as indented JSON.
+func (d *Doc) WriteFile(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

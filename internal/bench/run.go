@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/engine"
+	"neutronstar/internal/obs"
+)
+
+// RunSpec names one benchmark configuration.
+type RunSpec struct {
+	Name    string
+	Mode    engine.Mode
+	Workers int
+	// Warmup epochs run but are not measured (first-epoch allocator and
+	// cache effects would otherwise dominate the medians on small graphs).
+	Warmup int
+	Epochs int
+}
+
+// BenchSpec is the fixed small workload of the perf-smoke pipeline: an RMAT
+// graph big enough that stage times are non-trivial, small enough for CI.
+func BenchSpec() dataset.Spec {
+	return dataset.Spec{
+		Name:       "bench-rmat",
+		Vertices:   4000,
+		AvgDegree:  12,
+		FeatureDim: 32,
+		NumClasses: 8,
+		HiddenDim:  16,
+		Gen:        dataset.GenRMAT,
+		Skew:       0.45,
+		Seed:       99,
+	}
+}
+
+// DefaultRuns covers the three dependency policies: the hybrid plan and the
+// all-communicate plan at the requested cluster size (both exercise the
+// fabric), and the all-cache plan on one worker (which must move zero bytes).
+func DefaultRuns(workers int) []RunSpec {
+	return []RunSpec{
+		{Name: fmt.Sprintf("hybrid-w%d", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5},
+		{Name: fmt.Sprintf("depcomm-w%d", workers), Mode: engine.DepComm, Workers: workers, Warmup: 1, Epochs: 5},
+		{Name: "depcache-w1", Mode: engine.DepCache, Workers: 1, Warmup: 1, Epochs: 5},
+	}
+}
+
+// Execute runs every spec on ds and assembles the document.
+func Execute(ds *dataset.Dataset, specs []RunSpec) (*Doc, error) {
+	doc := &Doc{
+		SchemaVersion: SchemaVersion,
+		Graph: GraphInfo{
+			Name:       ds.Spec.Name,
+			Vertices:   ds.NumVertices(),
+			Edges:      ds.NumEdges(),
+			FeatureDim: ds.Spec.FeatureDim,
+			HiddenDim:  ds.Spec.HiddenDim,
+			Classes:    ds.Spec.NumClasses,
+			Layers:     2,
+		},
+		Host: CurrentHost(),
+	}
+	for _, spec := range specs {
+		run, err := ExecuteRun(ds, spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %q: %w", spec.Name, err)
+		}
+		doc.Runs = append(doc.Runs, *run)
+	}
+	return doc, nil
+}
+
+// ExecuteRun trains one configuration under a flight recorder and summarises
+// the measured epochs.
+func ExecuteRun(ds *dataset.Dataset, spec RunSpec) (*Run, error) {
+	if spec.Epochs <= 0 {
+		return nil, fmt.Errorf("epochs = %d", spec.Epochs)
+	}
+	rec := obs.NewFlightRecorder()
+	eng, err := engine.NewEngine(ds, engine.Options{
+		Workers:  spec.Workers,
+		Mode:     spec.Mode,
+		Ring:     true,
+		LockFree: true,
+		Overlap:  true,
+		Seed:     1,
+		Recorder: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	stats := eng.Train(spec.Warmup + spec.Epochs)
+	recs := rec.Snapshot()
+	if len(recs) < spec.Warmup+spec.Epochs {
+		return nil, fmt.Errorf("recorded %d epochs, expected %d", len(recs), spec.Warmup+spec.Epochs)
+	}
+	recs = recs[spec.Warmup:]
+	return summarize(eng, spec, recs, stats[len(stats)-1].Loss), nil
+}
+
+func summarize(eng *engine.Engine, spec RunSpec, recs []obs.EpochRecord, finalLoss float64) *Run {
+	run := &Run{
+		Name:      spec.Name,
+		Mode:      string(spec.Mode),
+		Workers:   spec.Workers,
+		Epochs:    len(recs),
+		FinalLoss: finalLoss,
+	}
+	walls := make([]float64, len(recs))
+	var wallSum float64
+	var bytesSum int64
+	var coverSum float64
+	for i := range recs {
+		r := &recs[i]
+		walls[i] = r.WallSeconds
+		wallSum += r.WallSeconds
+		bytesSum += r.TotalBytes()
+		var covered float64
+		for _, s := range obs.StageNames() {
+			if s == "checkpoint" {
+				continue // saved outside the epoch wall by design
+			}
+			covered += r.StageSeconds(s)
+		}
+		if span := float64(r.Workers) * r.WallSeconds; span > 0 {
+			coverSum += covered / span
+		}
+	}
+	n := float64(len(recs))
+	run.WallMedianSeconds = median(walls)
+	run.WallMeanSeconds = wallSum / n
+	if wallSum > 0 {
+		run.EpochsPerSec = n / wallSum
+	}
+	run.BytesPerEpoch = int64(float64(bytesSum) / n)
+	run.StageCoverage = coverSum / n
+
+	for _, stage := range obs.StageNames() {
+		perEpoch := make([]float64, len(recs))
+		var secSum float64
+		var bSum, mSum int64
+		for i := range recs {
+			s := recs[i].StageSeconds(stage)
+			perEpoch[i] = s
+			secSum += s
+			bSum += recs[i].StageBytes(stage)
+			mSum += recs[i].StageMsgs(stage)
+		}
+		if secSum == 0 && bSum == 0 && mSum == 0 {
+			continue
+		}
+		run.Stages = append(run.Stages, StageSummary{
+			Stage:         stage,
+			MedianSeconds: median(perEpoch),
+			MeanSeconds:   secSum / n,
+			BytesPerEpoch: int64(float64(bSum) / n),
+			MsgsPerEpoch:  int64(float64(mSum) / n),
+		})
+	}
+
+	if cr := eng.CostReportFrom(recs); cr != nil {
+		rs := &ResidualSummary{
+			FitMethod: cr.FitMethod,
+			Probed:    FactorSet{Tv: cr.Probed.Tv, Te: cr.Probed.Te, Tc: cr.Probed.Tc},
+			Fitted:    FactorSet{Tv: cr.Fitted.Tv, Te: cr.Fitted.Te, Tc: cr.Fitted.Tc},
+			FlipsCacheToComm: cr.Flips.CacheToComm,
+			FlipsCommToCache: cr.Flips.CommToCache,
+			Slots:            cr.Flips.Slots,
+		}
+		for _, lr := range cr.Layers {
+			rs.MaxAbsComputeResidual = maxAbs(rs.MaxAbsComputeResidual, lr.ComputeResidual)
+			rs.MaxAbsCommResidual = maxAbs(rs.MaxAbsCommResidual, lr.CommResidual)
+		}
+		run.Residuals = rs
+	}
+	return run
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+func maxAbs(cur, x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	if x > cur {
+		return x
+	}
+	return cur
+}

@@ -273,6 +273,10 @@ type Mailbox struct {
 
 	dedup bool
 	seen  map[routeKey]struct{}
+
+	// stage, when set, attributes deduplicated deliveries to a flight
+	// recorder (see stage.go).
+	stage stageRec
 }
 
 // dedupSeenMax bounds the delivered-key memory: when the set grows past
@@ -322,6 +326,10 @@ func (mb *Mailbox) deliver(msg *Message) {
 		}
 		mb.seen[key] = struct{}{}
 	}
+	// Past the dedup gate: this is the message's one counted delivery.
+	// Retransmitted or duplicated copies either never reach here (dropped
+	// above) or ARE the counted copy when they arrive first.
+	mb.recordDelivery(msg)
 	if ch, ok := mb.waiting[key]; ok {
 		delete(mb.waiting, key)
 		mb.mu.Unlock()

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"sync/atomic"
+
+	"neutronstar/internal/obs"
+)
+
+// Flight-recorder byte attribution. The exactly-once contract under faults:
+//
+//   - Send side: counted by the engine's recording wrapper, which sits
+//     OUTSIDE FaultyFabric — one count per logical Send, no matter how many
+//     times the fault layer retransmits or duplicates the message underneath.
+//   - Receive side: counted in Mailbox.deliver after the dedup check, so a
+//     duplicate that the at-least-once mailbox drops is never counted, and
+//     whichever copy arrives first is counted exactly once.
+//
+// Self-sends (From == To) bypass the network and are not attributed on
+// either side — local dependency handling is free, as in the real system.
+
+// StageOfMsg maps a message to the flight-recorder stage and layer cell its
+// bytes belong to. recv selects the receiver-side stage for dependency
+// traffic (send and receive block different stages of different workers).
+func StageOfMsg(msg *Message, recv bool) (obs.Stage, int) {
+	switch msg.Kind {
+	case KindGrad:
+		// Mirror-gradient exchange: one stage covers both directions.
+		return obs.StageMirrorScatter, msg.Layer
+	case KindAllReduce:
+		// The all-reduce ring and the parameter server reuse Layer as a
+		// step/phase tag, so their traffic always lands in layer cell 0.
+		return obs.StageGradSync, 0
+	default: // KindRep, KindBlock, KindSample: dependency fetch traffic.
+		if recv {
+			return obs.StageDepFetchRecv, msg.Layer
+		}
+		return obs.StageDepFetchSend, msg.Layer
+	}
+}
+
+// stageRecorder binds a mailbox to one worker's cells of a flight recorder.
+type stageRecorder struct {
+	rec    *obs.FlightRecorder
+	worker int
+}
+
+// stageRec is published atomically so SetStageRecorder is safe even if a
+// fabric goroutine is already delivering.
+type stageRec struct {
+	p atomic.Pointer[stageRecorder]
+}
+
+// SetStageRecorder attributes this mailbox's future deliveries to worker's
+// receive-side cells of rec. A nil rec detaches. Works identically for the
+// channel fabric, the TCP fabric and any fault-injecting wrapper, because
+// every path funnels into deliver.
+func (mb *Mailbox) SetStageRecorder(rec *obs.FlightRecorder, worker int) {
+	if rec == nil {
+		mb.stage.p.Store(nil)
+		return
+	}
+	mb.stage.p.Store(&stageRecorder{rec: rec, worker: worker})
+}
+
+// recordDelivery counts one deduplicated delivery. Called from deliver with
+// mb.mu held, after the dedup and closed checks.
+func (mb *Mailbox) recordDelivery(msg *Message) {
+	sr := mb.stage.p.Load()
+	if sr == nil || msg.From == sr.worker {
+		return
+	}
+	stage, layer := StageOfMsg(msg, true)
+	sr.rec.AddTraffic(sr.worker, stage, layer, int64(msg.WireBytes()), 1)
+}

@@ -1,0 +1,81 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitComputeFactorsExactRecovery(t *testing.T) {
+	const wantTv, wantTe = 3e-7, 8e-8
+	// Three layers with distinct vertex/edge element ratios.
+	v := []float64{1000, 4000, 500}
+	e := []float64{8000, 12000, 9000}
+	s := make([]float64, len(v))
+	for i := range s {
+		s[i] = wantTv*v[i] + wantTe*e[i]
+	}
+	tv, te, ok := FitComputeFactors(v, e, s)
+	if !ok {
+		t.Fatal("fit rejected a well-conditioned exact system")
+	}
+	if math.Abs(tv-wantTv)/wantTv > 1e-9 || math.Abs(te-wantTe)/wantTe > 1e-9 {
+		t.Fatalf("recovered (%g, %g), want (%g, %g)", tv, te, wantTv, wantTe)
+	}
+}
+
+func TestFitComputeFactorsOverdeterminedLeastSquares(t *testing.T) {
+	const wantTv, wantTe = 1e-6, 2e-7
+	const noise = 1e-5
+	// Each observation appears twice with equal-and-opposite additive noise,
+	// which cancels exactly in the normal equations: the least-squares
+	// solution of the noisy system is the noiseless one.
+	v := []float64{100, 300, 100, 300}
+	e := []float64{500, 200, 500, 200}
+	s := make([]float64, len(v))
+	for i := range s {
+		exact := wantTv*v[i] + wantTe*e[i]
+		if i < 2 {
+			s[i] = exact + noise
+		} else {
+			s[i] = exact - noise
+		}
+	}
+	tv, te, ok := FitComputeFactors(v, e, s)
+	if !ok {
+		t.Fatal("fit rejected an over-determined system")
+	}
+	if math.Abs(tv-wantTv)/wantTv > 1e-9 || math.Abs(te-wantTe)/wantTe > 1e-9 {
+		t.Fatalf("recovered (%g, %g), want (%g, %g)", tv, te, wantTv, wantTe)
+	}
+}
+
+func TestFitComputeFactorsSingular(t *testing.T) {
+	// Identical vertex/edge ratio on every layer: Tv and Te are not
+	// separable and the fit must decline rather than return garbage.
+	v := []float64{100, 200, 400}
+	e := []float64{300, 600, 1200}
+	s := []float64{1e-3, 2e-3, 4e-3}
+	if _, _, ok := FitComputeFactors(v, e, s); ok {
+		t.Fatal("fit accepted a singular system")
+	}
+}
+
+func TestFitComputeFactorsRejectsNegative(t *testing.T) {
+	// Observations that force one factor negative: heavy-edge layers are
+	// faster than light-edge layers, contradicting the model shape.
+	v := []float64{100, 100}
+	e := []float64{100, 1000}
+	s := []float64{1e-3, 1e-4}
+	if _, _, ok := FitComputeFactors(v, e, s); ok {
+		t.Fatal("fit accepted observations implying a negative factor")
+	}
+}
+
+func TestFitComputeFactorsTooFewObservations(t *testing.T) {
+	if _, _, ok := FitComputeFactors([]float64{1}, []float64{1}, []float64{1}); ok {
+		t.Fatal("fit accepted a single observation")
+	}
+	if _, _, ok := FitComputeFactors([]float64{1, 2}, []float64{1}, []float64{1, 2}); ok {
+		t.Fatal("fit accepted mismatched lengths")
+	}
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"neutronstar/internal/costmodel"
+	"neutronstar/internal/dataset"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/obs"
+	"neutronstar/internal/tensor"
+)
+
+// ringDataset builds a directed ring i → i+1 (every vertex has in-degree 1),
+// the smallest graph whose chunk partition has cross-worker dependencies
+// with exactly predictable subtree costs.
+func ringDataset(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{Src: int32(i), Dst: int32((i + 1) % n)}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int32, n)
+	train := make([]bool, n)
+	for i := range labels {
+		labels[i] = int32(i % 2)
+		train[i] = true
+	}
+	return &dataset.Dataset{
+		Spec: dataset.Spec{Name: "ring", Vertices: n, FeatureDim: 4,
+			NumClasses: 2, HiddenDim: 4, Seed: 1},
+		Graph:    g,
+		Features: tensor.RandNormal(n, 4, 0, 1, tensor.NewRNG(1)),
+		Labels:   labels,
+		TrainMask: train, ValMask: make([]bool, n), TestMask: make([]bool, n),
+	}
+}
+
+// pinnedCosts are forced environment factors: generous Tc makes the greedy
+// cache every layer-2 dependency (t_r = (Tv+Te)·4 = 8e-6 < Tc·4 = 4e-5).
+var pinnedCosts = costmodel.Costs{Tv: 1e-6, Te: 1e-6, Tc: 1e-5}
+
+// ringEngine builds a 2-worker DepComm engine over the ring with pinned
+// costs — DepComm so every layer has communication work to validate against.
+func ringEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := NewEngine(ringDataset(t, 40), Options{
+		Workers: 2, Mode: DepComm, Costs: pinnedCosts, Seed: 1,
+		Recorder: obs.NewFlightRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// syntheticRecord fabricates an epoch whose measured stage seconds are given
+// per layer: compute lands in "forward", communication in "dep_fetch_recv".
+func syntheticRecord(layers int, compute, comm []float64) obs.EpochRecord {
+	r := obs.EpochRecord{Epoch: 1, WallSeconds: 1, Workers: 2, Layers: layers}
+	for l := 1; l <= layers; l++ {
+		r.Cells = append(r.Cells,
+			obs.StageCell{Worker: 0, Stage: "forward", Layer: l, Seconds: compute[l-1]},
+			obs.StageCell{Worker: 0, Stage: "dep_fetch_recv", Layer: l, Seconds: comm[l-1]},
+		)
+	}
+	return r
+}
+
+// probeWork reads the validator's own work counts (and hence exact
+// predictions) by running it once on a throwaway record.
+func probeWork(t *testing.T, eng *Engine) *CostReport {
+	t.Helper()
+	cr := eng.CostReportFrom([]obs.EpochRecord{syntheticRecord(2, []float64{1, 1}, []float64{1, 1})})
+	if cr == nil || len(cr.Layers) != 2 {
+		t.Fatalf("probe report = %+v", cr)
+	}
+	return cr
+}
+
+// TestCostReportZeroResidualsWhenModelExact: feed the validator measurements
+// that equal the model's own predictions under the pinned factors — every
+// residual must vanish, the fitted factors must reproduce the pinned ones,
+// and the counterfactual plan must not flip a single decision.
+func TestCostReportZeroResidualsWhenModelExact(t *testing.T) {
+	eng := ringEngine(t)
+	probe := probeWork(t, eng)
+	compute := []float64{probe.Layers[0].PredComputeSeconds, probe.Layers[1].PredComputeSeconds}
+	comm := []float64{probe.Layers[0].PredCommSeconds, probe.Layers[1].PredCommSeconds}
+	cr := eng.CostReportFrom([]obs.EpochRecord{syntheticRecord(2, compute, comm)})
+	if cr == nil {
+		t.Fatal("nil report")
+	}
+	for _, lr := range cr.Layers {
+		if math.Abs(lr.ComputeResidual) > 1e-9 || math.Abs(lr.CommResidual) > 1e-9 {
+			t.Fatalf("layer %d residuals not ~0: compute %g comm %g",
+				lr.Layer, lr.ComputeResidual, lr.CommResidual)
+		}
+		if lr.RecvRows == 0 {
+			t.Fatalf("layer %d: DepComm plan has no recv rows", lr.Layer)
+		}
+	}
+	if rel := math.Abs(cr.Fitted.Tc-pinnedCosts.Tc) / pinnedCosts.Tc; rel > 1e-9 {
+		t.Fatalf("fitted Tc %g, want %g", cr.Fitted.Tc, pinnedCosts.Tc)
+	}
+	// Compute factors may come back exact (least squares) or as a unit
+	// rescale of the probe — either way they must reproduce the pinned model.
+	predUnderFitted := float64(cr.Layers[0].VertexOps)*cr.Fitted.Tv + float64(cr.Layers[0].EdgeOps)*cr.Fitted.Te
+	predUnderPinned := float64(cr.Layers[0].VertexOps)*pinnedCosts.Tv + float64(cr.Layers[0].EdgeOps)*pinnedCosts.Te
+	if rel := math.Abs(predUnderFitted-predUnderPinned) / predUnderPinned; rel > 1e-9 {
+		t.Fatalf("fitted compute factors predict %g, pinned predict %g", predUnderFitted, predUnderPinned)
+	}
+	if cr.Flips.Flips() != 0 {
+		t.Fatalf("exact model flipped %d decisions: %+v", cr.Flips.Flips(), cr.Flips)
+	}
+}
+
+// TestCostReportTcOffByTenFlipsDecisions: the probe said Tc = 1e-5, under
+// which caching a layer-2 ring dependency (t_r = 8e-6) beats fetching it
+// (t_c = 4e-5). Measurements implying the true Tc is 10× lower (t_c = 4e-6)
+// must flip those decisions to DepComm in the counterfactual plan.
+func TestCostReportTcOffByTenFlipsDecisions(t *testing.T) {
+	const trueTc = 1e-6
+	eng := ringEngine(t)
+	probe := probeWork(t, eng)
+	compute := []float64{probe.Layers[0].PredComputeSeconds, probe.Layers[1].PredComputeSeconds}
+	comm := make([]float64, 2)
+	for i, lr := range probe.Layers {
+		comm[i] = float64(lr.RecvRows) * trueTc * float64(eng.dims[lr.Layer-1])
+	}
+	cr := eng.CostReportFrom([]obs.EpochRecord{syntheticRecord(2, compute, comm)})
+	if cr == nil {
+		t.Fatal("nil report")
+	}
+	if rel := math.Abs(cr.Fitted.Tc-trueTc) / trueTc; rel > 1e-9 {
+		t.Fatalf("fitted Tc %g, want %g", cr.Fitted.Tc, trueTc)
+	}
+	if cr.Flips.CacheToComm == 0 {
+		t.Fatalf("10x-off Tc flipped nothing: %+v", cr.Flips)
+	}
+	if cr.Flips.CommToCache != 0 {
+		t.Fatalf("cheaper comm must not create new cache decisions: %+v", cr.Flips)
+	}
+}
+
+// TestLayerWorkCounts pins the validator's work counts on the ring: every
+// vertex is computed once per layer with exactly one in-edge, and each
+// worker fetches its single boundary dependency.
+func TestLayerWorkCounts(t *testing.T) {
+	eng := ringEngine(t)
+	works := eng.layerWorks()
+	if len(works) != 2 {
+		t.Fatalf("layers = %d", len(works))
+	}
+	for l, w := range works {
+		if w.vertexOps != 40 {
+			t.Fatalf("layer %d vertexOps = %d, want 40", l+1, w.vertexOps)
+		}
+		if w.edgeOps != 40 {
+			t.Fatalf("layer %d edgeOps = %d, want 40", l+1, w.edgeOps)
+		}
+		if w.recvRows != 2 {
+			t.Fatalf("layer %d recvRows = %d, want 2 (one boundary dep per worker)", l+1, w.recvRows)
+		}
+	}
+}

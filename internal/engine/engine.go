@@ -15,6 +15,7 @@ import (
 	"neutronstar/internal/hybrid"
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
+	"neutronstar/internal/obs"
 	"neutronstar/internal/partition"
 	"neutronstar/internal/tensor"
 )
@@ -98,6 +99,10 @@ type Options struct {
 	// Ckpt, when non-nil, saves a snapshot at every due epoch barrier. A
 	// failed save is reported on the epoch's EpochStats, never fatal.
 	Ckpt *ckpt.Saver
+	// Recorder, when non-nil, receives per-stage time/byte attribution for
+	// every epoch (see obs.FlightRecorder). Nil disables all recording paths
+	// at zero cost.
+	Recorder *obs.FlightRecorder
 }
 
 // withDefaults fills unset options.
@@ -143,7 +148,10 @@ type Engine struct {
 	fabric comm.Network
 	states []*workerState
 	dims   []int
-	epoch  int
+	// costs are the probed (or forced) environment factors the planner used;
+	// the cost-model validator compares them against measured ones.
+	costs costmodel.Costs
+	epoch int
 	// history accumulates every completed epoch's stats; it rides along in
 	// snapshots so a resumed run reports a continuous loss curve.
 	history []EpochStats
@@ -227,9 +235,15 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if opts.Fault != nil {
 		fabric = comm.NewFaultyFabric(fabric, opts.Fault)
 	}
+	if opts.Recorder != nil {
+		// Outermost wrapper: send-side attribution must see each logical
+		// Send once, before fault injection multiplies transmissions.
+		fabric = newRecordingNet(fabric, opts.Recorder)
+	}
 	e := &Engine{
 		opts: opts, ds: ds, part: part, decs: decs, plans: plans, dims: dims,
 		fabric:         fabric,
+		costs:          costs,
 		PreprocessTime: preprocess,
 	}
 	cached, comms := 0, 0
@@ -293,10 +307,13 @@ func (e *Engine) Close() { e.fabric.Close() }
 // RunEpoch executes one synchronous training epoch across all workers and
 // returns aggregate statistics.
 func (e *Engine) RunEpoch() EpochStats {
+	rec := e.opts.Recorder
+	rec.BeginEpoch(e.epoch+1, e.opts.Workers, len(e.dims)-1)
 	start := time.Now()
 	type result struct {
 		lossSum float64
 		count   int
+		busy    time.Duration
 	}
 	results := make([]result, len(e.states))
 	var wg sync.WaitGroup
@@ -304,11 +321,21 @@ func (e *Engine) RunEpoch() EpochStats {
 		wg.Add(1)
 		go func(i int, ws *workerState) {
 			defer wg.Done()
+			t0 := time.Now()
 			sum, n := ws.runEpoch(e.epoch)
-			results[i] = result{lossSum: sum, count: n}
+			results[i] = result{lossSum: sum, count: n, busy: time.Since(t0)}
 		}(i, ws)
 	}
 	wg.Wait()
+	wall := time.Since(start)
+	// Barrier attribution: a worker that finished early idles until the
+	// slowest one crosses the epoch barrier. That idle gap is wall minus its
+	// own busy span (spawn skew makes it approximate, never negative).
+	for i := range results {
+		if gap := wall - results[i].busy; gap > 0 {
+			rec.AddTime(i, obs.StageBarrier, 0, gap)
+		}
+	}
 	// Sum in worker-id order: float addition is not associative, so summing
 	// in completion order would make the reported loss depend on goroutine
 	// scheduling — same-seed runs must be bit-identical.
@@ -319,7 +346,7 @@ func (e *Engine) RunEpoch() EpochStats {
 		count += r.count
 	}
 	e.epoch++
-	st := EpochStats{Epoch: e.epoch, Duration: time.Since(start)}
+	st := EpochStats{Epoch: e.epoch, Duration: wall}
 	if count > 0 {
 		st.Loss = lossSum / float64(count)
 	}
@@ -330,10 +357,14 @@ func (e *Engine) RunEpoch() EpochStats {
 	// The epoch barrier has passed: every worker is quiescent, so the
 	// snapshot sees one consistent cluster state.
 	if e.opts.Ckpt.Due(e.epoch) {
-		if err := e.opts.Ckpt.Save(e.Snapshot()); err != nil {
+		t0 := time.Now()
+		err := e.opts.Ckpt.Save(e.Snapshot())
+		rec.AddTime(0, obs.StageCheckpoint, 0, time.Since(t0))
+		if err != nil {
 			st.CkptErr = err
 		}
 	}
+	rec.EndEpoch(wall, st.Loss)
 	return st
 }
 

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"neutronstar/internal/comm"
+	"neutronstar/internal/obs"
+)
+
+// recordingNet wraps the engine's fabric to attribute send-side traffic to
+// the flight recorder. It sits OUTSIDE any FaultyFabric wrapper, so one
+// logical Send is counted exactly once no matter how many retransmissions or
+// duplicates the fault layer injects underneath; the receive side is counted
+// in the mailbox after dedup (see comm/stage.go for the full contract).
+type recordingNet struct {
+	inner comm.Network
+	rec   *obs.FlightRecorder
+}
+
+func newRecordingNet(inner comm.Network, rec *obs.FlightRecorder) *recordingNet {
+	n := &recordingNet{inner: inner, rec: rec}
+	for i := 0; i < inner.NumWorkers(); i++ {
+		inner.Mailbox(i).SetStageRecorder(rec, i)
+	}
+	return n
+}
+
+func (n *recordingNet) Send(msg *comm.Message) {
+	if msg.From != msg.To {
+		stage, layer := comm.StageOfMsg(msg, false)
+		n.rec.AddTraffic(msg.From, stage, layer, int64(msg.WireBytes()), 1)
+	}
+	n.inner.Send(msg)
+}
+
+func (n *recordingNet) Mailbox(i int) *comm.Mailbox { return n.inner.Mailbox(i) }
+func (n *recordingNet) NumWorkers() int             { return n.inner.NumWorkers() }
+func (n *recordingNet) Close()                      { n.inner.Close() }

@@ -97,15 +97,21 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 	eg := coll.Group(ws.id, "epoch",
 		obs.Int("epoch", epoch), obs.String("mode", string(ws.eng.opts.Mode)))
 	defer eg.End()
+	// sc is this worker's exclusive stage clock for the epoch (nil when
+	// recording is off — every method on it is nil-safe). It lives on this
+	// goroutine only; background send goroutines must never touch it.
+	sc := ws.eng.opts.Recorder.Clock(ws.id)
+	defer sc.End()
 
 	// ---- Forward: synchronize-compute per layer ----
 	prevVal := ws.feat
 	for l := 1; l <= L; l++ {
-		runs[l-1] = ws.forwardLayer(epoch, l, prevVal, coll, true)
+		runs[l-1] = ws.forwardLayer(epoch, l, prevVal, coll, true, sc)
 		prevVal = runs[l-1].out.Value
 	}
 
 	// ---- Loss on owned rows of the final layer ----
+	sc.Switch(obs.StageBackward, L)
 	last := &runs[L-1]
 	lossSp := coll.Span(ws.id, metrics.Compute, "loss_backward", obs.Int("epoch", epoch))
 	tape := last.tape
@@ -130,10 +136,11 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 
 	// ---- Backward: compute-synchronize per layer ----
 	for l := L; l >= 1; l-- {
-		ws.backwardLayer(epoch, l, runs)
+		ws.backwardLayer(epoch, l, runs, sc)
 	}
 
 	// ---- Parameter update: collect, synchronise, step ----
+	sc.Switch(obs.StageBackward, 0)
 	collectSp := coll.Span(ws.id, metrics.Compute, "collect_grads")
 	params := ws.model.Params()
 	for _, p := range params {
@@ -143,6 +150,7 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 	if sched := ws.eng.opts.Scheduler; sched != nil {
 		nn.SetLR(ws.opt, sched.LR(epoch))
 	}
+	sc.Switch(obs.StageGradSync, 0)
 	if ws.eng.opts.ParamServer {
 		// Clipping happens on the server after summation; workers receive
 		// the already-stepped parameters.
@@ -160,12 +168,13 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 
 // forwardLayer executes one layer: send master rows, redundantly compute the
 // cached block, receive mirror rows, compute the owned block.
-func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *metrics.Collector, training bool) layerRun {
+func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *metrics.Collector, training bool, sc *obs.StageClock) layerRun {
 	lp := &ws.plan.layers[l-1]
 	layer := ws.model.Layers[l-1]
 	tape := autograd.NewTape()
 	lg := coll.Group(ws.id, "layer", obs.Int("layer", l))
 	defer lg.End()
+	sc.Switch(obs.StageForward, l)
 
 	sendDone := make(chan struct{})
 	send := func() {
@@ -173,16 +182,20 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 		ws.sendReps(epoch, l, prevVal)
 	}
 	if ws.eng.opts.Overlap {
+		// Background send must never touch sc: the clock is single-goroutine.
+		// Its wire bytes are still attributed via the fabric hooks.
 		go send()
 	} else {
+		sc.Switch(obs.StageDepFetchSend, l)
 		send()
+		sc.Switch(obs.StageForward, l)
 	}
 
 	// Chunk-pipelined path (§4.3, Fig. 8): for sum-decomposable layers each
 	// received chunk's edge stage runs as the chunk arrives, so compute on
 	// chunk k overlaps delivery of chunk k+1.
 	if sd, ok := layer.(nn.SumDecomposable); ok && ws.eng.opts.Overlap && !ws.eng.opts.Broadcast {
-		run := ws.forwardLayerChunked(epoch, l, prevVal, coll, training, sd, tape)
+		run := ws.forwardLayerChunked(epoch, l, prevVal, coll, training, sd, tape, sc)
 		<-sendDone
 		return run
 	}
@@ -217,6 +230,7 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 	numRecv := lp.numHAllRows - lp.numPrevRows
 	if numRecv > 0 {
 		depCacheMisses.Add(float64(numRecv))
+		sc.Switch(obs.StageDepFetchRecv, l)
 		sp := coll.Span(ws.id, metrics.Comm, "gather_dep_nbr",
 			obs.Int("layer", l), obs.Int("rows", numRecv))
 		recvBytes := 0
@@ -244,6 +258,7 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 		}
 		sp.SetAttrs(obs.Int("bytes", recvBytes))
 		sp.End()
+		sc.Switch(obs.StageForward, l)
 		hRecv = tape.Leaf(recvVal, true, "h_recv")
 		zRecv := hRecv
 		if hasPT {
@@ -276,7 +291,9 @@ func (ws *workerState) runForward(epoch int) *tensor.Tensor {
 	L := len(ws.plan.layers)
 	prevVal := ws.feat
 	for l := 1; l <= L; l++ {
-		run := ws.forwardLayer(epoch, l, prevVal, ws.eng.opts.Collector, false)
+		// Inference passes carry a nil clock: they run outside any epoch and
+		// the recorder would drop their samples anyway.
+		run := ws.forwardLayer(epoch, l, prevVal, ws.eng.opts.Collector, false, nil)
 		prevVal = run.out.Value
 	}
 	for _, p := range ws.model.Params() {
@@ -290,7 +307,8 @@ func (ws *workerState) runForward(epoch int) *tensor.Tensor {
 // peer's chunk in arrival schedule order), partial aggregations are summed,
 // and the vertex stage runs once at the end.
 func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
-	coll *metrics.Collector, training bool, sd nn.SumDecomposable, tape *autograd.Tape) layerRun {
+	coll *metrics.Collector, training bool, sd nn.SumDecomposable, tape *autograd.Tape,
+	sc *obs.StageClock) layerRun {
 
 	lp := &ws.plan.layers[l-1]
 	layer := ws.model.Layers[l-1]
@@ -334,11 +352,13 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 			continue
 		}
 		depCacheMisses.Add(float64(len(verts)))
+		sc.Switch(obs.StageDepFetchRecv, l)
 		sp := coll.Span(ws.id, metrics.Comm, "recv_chunk",
 			obs.Int("layer", l), obs.Int("peer", j), obs.Int("rows", len(verts)))
 		msg := ws.mb.Wait(comm.KindRep, epoch, l, 0, j)
 		sp.SetAttrs(obs.Int("bytes", msg.WireBytes()))
 		sp.End()
+		sc.Switch(obs.StageForward, l)
 		leaf := tape.Leaf(msg.Rows, true, "h_chunk")
 		leaves = append(leaves, chunkLeaf{peer: j, v: leaf})
 		if g == nil {
@@ -459,12 +479,13 @@ func searchVertex(list []int32, v int32) int {
 // backwardLayer runs layer l's tape backward (seeded by the upper layer's
 // input gradient plus remote mirror gradients), then posts mirror gradients
 // back to their masters (PostToDepNbr).
-func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
+func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.StageClock) {
 	lp := &ws.plan.layers[l-1]
 	run := &runs[l-1]
 	coll := ws.eng.opts.Collector
 	bg := coll.Group(ws.id, "backward", obs.Int("layer", l))
 	defer bg.End()
+	sc.Switch(obs.StageBackward, l)
 
 	// Seed: for the top layer the loss already back-propagated on the same
 	// tape, so out.Grad is populated; for lower layers assemble the seed
@@ -477,7 +498,8 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 		}
 		// Mirror gradients for my masters sent at layer l+1 arrive from
 		// every peer I sent rows to.
-		ws.receiveMirrorGrads(epoch, l+1, seed)
+		ws.receiveMirrorGrads(epoch, l+1, seed, sc)
+		sc.Switch(obs.StageBackward, l)
 		sp := coll.Span(ws.id, metrics.Compute, "tape_backward", obs.Int("layer", l))
 		run.tape.Backward(run.out, seed)
 		sp.End()
@@ -485,6 +507,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 	// Post mirror gradients of chunk-pipelined leaves (one message per peer
 	// chunk) — except layer 1, whose inputs are static features.
 	if len(run.chunkLeaves) > 0 && l > 1 {
+		sc.Switch(obs.StageMirrorScatter, l)
 		sp := coll.Span(ws.id, metrics.Comm, "post_to_dep_nbr", obs.Int("layer", l))
 		for _, cl := range run.chunkLeaves {
 			verts := lp.recv[cl.peer]
@@ -498,6 +521,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 			})
 		}
 		sp.End()
+		sc.Switch(obs.StageBackward, l)
 	}
 	// Post mirror gradients of this layer's received rows to their masters
 	// — except layer 1, whose inputs are static features.
@@ -506,6 +530,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 		if grad == nil {
 			grad = tensor.New(run.hRecv.Value.Rows(), run.hRecv.Value.Cols())
 		}
+		sc.Switch(obs.StageMirrorScatter, l)
 		sp := coll.Span(ws.id, metrics.Comm, "post_to_dep_nbr", obs.Int("layer", l))
 		for _, j := range ws.peerOrder() {
 			verts := lp.recv[j]
@@ -535,19 +560,23 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun) {
 			})
 		}
 		sp.End()
+		sc.Switch(obs.StageBackward, l)
 	}
 }
 
 // receiveMirrorGrads waits for the gradient chunks of the masters this
 // worker sent at layer l and accumulates them into seed's owned rows.
 // Layer-1 sends carry features and produce no gradients.
-func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor) {
+func (ws *workerState) receiveMirrorGrads(epoch, l int, seed *tensor.Tensor, sc *obs.StageClock) {
 	if l <= 1 {
 		return
 	}
 	lp := &ws.plan.layers[l-1]
 	coll := ws.eng.opts.Collector
 	ownedPos := ws.plan.prevIndex[l-1]
+	// Waiting on mirror gradients is scatter-side time of the layer that sent
+	// the mirrors; the caller flips the clock back to backward-compute.
+	sc.Switch(obs.StageMirrorScatter, l)
 	for _, j := range ws.peerOrder() {
 		verts := lp.send[j]
 		if len(verts) == 0 {

@@ -1,0 +1,57 @@
+package hybrid
+
+// FlipReport summarises how two plans disagree: for every (worker, layer,
+// dependency) slot, whether the dependency moved between the DepCache set R
+// and the DepComm set C. It is the output of the cost-model counterfactual —
+// "had the planner known the measured costs, how many decisions would flip?"
+type FlipReport struct {
+	// CacheToComm counts slots cached under plan A but communicated under B.
+	CacheToComm int `json:"cache_to_comm"`
+	// CommToCache counts slots communicated under A but cached under B.
+	CommToCache int `json:"comm_to_cache"`
+	// Slots is the number of comparable (worker, layer, dependency) slots.
+	Slots int `json:"slots"`
+}
+
+// Flips returns the total number of flipped decisions.
+func (f FlipReport) Flips() int { return f.CacheToComm + f.CommToCache }
+
+// DiffDecisions compares two plans over the same cluster shape. Workers and
+// layers beyond the shorter plan are ignored; within a layer, membership is
+// compared over the union of both sides' dependencies (the dependency sets of
+// two plans for the same partition are identical by construction).
+func DiffDecisions(a, b []*Decision) FlipReport {
+	var rep FlipReport
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for w := 0; w < n; w++ {
+		layers := len(a[w].R)
+		if len(b[w].R) < layers {
+			layers = len(b[w].R)
+		}
+		for l := 0; l < layers; l++ {
+			inA := make(map[int32]bool, len(a[w].R[l])+len(a[w].C[l]))
+			for _, u := range a[w].R[l] {
+				inA[u] = true
+			}
+			for _, u := range a[w].C[l] {
+				inA[u] = false
+			}
+			for _, u := range b[w].R[l] {
+				rep.Slots++
+				if cached, ok := inA[u]; ok && !cached {
+					rep.CommToCache++
+				}
+			}
+			for _, u := range b[w].C[l] {
+				rep.Slots++
+				if cached, ok := inA[u]; ok && cached {
+					rep.CacheToComm++
+				}
+			}
+		}
+	}
+	return rep
+}

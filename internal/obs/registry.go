@@ -152,6 +152,57 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the p-quantile (p clamped to [0, 1]) by linear
+// interpolation inside the bucket containing the target rank — the same
+// estimator Prometheus's histogram_quantile uses, so dashboards and the
+// end-of-run report agree. The lower bound of the first bucket is 0; a rank
+// landing in the +Inf bucket reports the largest finite bound (the value is
+// known only to exceed it). Returns 0 for an empty histogram. Under
+// concurrent Observe the estimate is approximate, like any monitoring read.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.upper) {
+				// +Inf bucket: no finite upper bound to interpolate toward.
+				if len(h.upper) == 0 {
+					return h.Sum() / float64(n)
+				}
+				return h.upper[len(h.upper)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.upper[i-1]
+			}
+			return lower + (h.upper[i]-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	// Racing observations moved the total under us; report the top bound.
+	if len(h.upper) == 0 {
+		return h.Sum() / float64(n)
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // ExpBuckets returns n exponentially growing bucket bounds starting at
 // start, each factor times the previous.
 func ExpBuckets(start, factor float64, n int) []float64 {

@@ -15,6 +15,7 @@ import (
 //	/metrics       Prometheus text exposition of the registry
 //	/healthz       200 "ok" liveness probe
 //	/status        JSON snapshot from the status callback
+//	/epochs        JSON flight-recorder timeline from the epochs callback
 //	/debug/pprof/  net/http/pprof index (profile, heap, goroutine, trace, …)
 type Server struct {
 	ln  net.Listener
@@ -22,12 +23,26 @@ type Server struct {
 }
 
 // NewServer binds addr (":8080", "127.0.0.1:0", …) and serves in the
-// background until Close. reg defaults to Default() when nil; status may be
-// nil, in which case /status serves an empty object. The bound address —
-// useful with port 0 — is available via Addr.
-func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
+// background until Close. reg defaults to Default() when nil; status and
+// epochs may be nil, in which case /status and /epochs serve an empty
+// object. The bound address — useful with port 0 — is available via Addr.
+func NewServer(addr string, reg *Registry, status, epochs func() any) (*Server, error) {
 	if reg == nil {
 		reg = Default()
+	}
+	serveJSON := func(cb func() any) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			var v any = struct{}{}
+			if cb != nil {
+				v = cb()
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(v); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -38,18 +53,8 @@ func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		var v any = struct{}{}
-		if status != nil {
-			v = status()
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(v); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux.HandleFunc("/status", serveJSON(status))
+	mux.HandleFunc("/epochs", serveJSON(epochs))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -28,7 +28,10 @@ func TestDebugServerEndpoints(t *testing.T) {
 	status := func() any {
 		return map[string]any{"epoch": 7, "loss": 0.5}
 	}
-	srv, err := NewServer("127.0.0.1:0", reg, status)
+	epochs := func() any {
+		return map[string]any{"records": []int{1, 2, 3}}
+	}
+	srv, err := NewServer("127.0.0.1:0", reg, status, epochs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +58,10 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if code != 200 || !strings.Contains(body, `"epoch": 7`) {
 		t.Fatalf("status: %d %q", code, body)
 	}
+	code, body = get(t, base+"/epochs")
+	if code != 200 || !strings.Contains(body, `"records"`) {
+		t.Fatalf("epochs: %d %q", code, body)
+	}
 	code, body = get(t, base+"/debug/pprof/")
 	if code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof index: %d", code)
@@ -65,7 +72,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 }
 
 func TestDebugServerNilStatusAndRegistry(t *testing.T) {
-	srv, err := NewServer("127.0.0.1:0", nil, nil)
+	srv, err := NewServer("127.0.0.1:0", nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +80,9 @@ func TestDebugServerNilStatusAndRegistry(t *testing.T) {
 	base := "http://" + srv.Addr()
 	if code, body := get(t, base+"/status"); code != 200 || strings.TrimSpace(body) != "{}" {
 		t.Fatalf("status: %d %q", code, body)
+	}
+	if code, body := get(t, base+"/epochs"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("epochs: %d %q", code, body)
 	}
 	// nil registry falls back to Default().
 	if code, _ := get(t, base+"/metrics"); code != 200 {

@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The epoch flight recorder attributes every nanosecond of an epoch's wall
+// time, and every byte that crosses the fabric, to a fixed stage taxonomy —
+// per worker, per layer, per epoch. It is the measurement substrate for the
+// paper's §6 evaluation style breakdowns (computation vs. communication time
+// and traffic volume) and for the cost-model validator: Eq. 1–3 predict
+// seconds per stage, and the recorder supplies the measured counterpart.
+//
+// Design constraints, in order:
+//
+//  1. Correctness of the accounting identity. Per worker, the stage times of
+//     one epoch partition the worker's wall time with no gaps: StageClock is
+//     an exclusive state machine that attributes elapsed-since-last-switch to
+//     the stage being left, so the per-worker sum equals the worker's span
+//     by construction, not by hoping every interval was wrapped.
+//  2. Low overhead. One clock per worker goroutine (no locks, no maps on the
+//     hot path — a Switch is one monotonic clock read and one atomic add);
+//     byte attribution is one atomic add per message.
+//  3. Nil safety. A nil *FlightRecorder and a nil *StageClock are no-ops, so
+//     instrumented paths cost nothing when recording is off — matching the
+//     Tracer/Span convention of this package.
+
+// Stage is one slot of the fixed attribution taxonomy.
+type Stage uint8
+
+// The stage taxonomy. Time and traffic cells are indexed (worker, stage,
+// layer); stages without a meaningful layer use layer cell 0.
+const (
+	// StageForward is forward-pass compute (vertex/edge kernels, tape
+	// bookkeeping, pre-transforms).
+	StageForward Stage = iota
+	// StageBackward is backward-pass compute (tape backward, loss, seed
+	// assembly, gradient collection).
+	StageBackward
+	// StageDepFetchSend is time spent packing/sending master rows and waiting
+	// for sends to drain (GetFromDepNbr, sender side).
+	StageDepFetchSend
+	// StageDepFetchRecv is time blocked on arriving dependency rows and
+	// unpacking them (GetFromDepNbr, receiver side).
+	StageDepFetchRecv
+	// StageMirrorScatter covers mirror-gradient exchange in the backward pass
+	// (PostToDepNbr), both posting and waiting.
+	StageMirrorScatter
+	// StageGradSync is parameter-gradient synchronisation: ring all-reduce or
+	// parameter-server exchange, plus clipping and the optimiser step.
+	StageGradSync
+	// StageBarrier is the per-worker idle tail between a worker's own finish
+	// and the slowest worker's finish — the epoch-synchronous straggler cost.
+	StageBarrier
+	// StageCheckpoint is snapshot serialisation at the epoch barrier. It is
+	// recorded outside the epoch wall time (EpochStats.Duration excludes the
+	// save), so it is excluded from the wall-coverage identity.
+	StageCheckpoint
+	// NumStages bounds the taxonomy.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"forward", "backward", "dep_fetch_send", "dep_fetch_recv",
+	"mirror_scatter", "grad_sync", "barrier", "checkpoint",
+}
+
+// String returns the stage's stable snake_case name, used in JSON documents
+// and the BENCH schema. These names are part of the BENCH.json contract.
+func (s Stage) String() string {
+	if s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// StageNames returns the taxonomy in stage order.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	copy(out, stageNames[:])
+	return out
+}
+
+// stageCell is one (worker, stage, layer) accumulator.
+type stageCell struct {
+	nanos atomic.Int64
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
+// epochAccum is the live accumulator of one open epoch.
+type epochAccum struct {
+	epoch   int
+	workers int
+	layers  int
+	cells   []stageCell // workers × NumStages × (layers+1)
+}
+
+func (a *epochAccum) cell(worker int, s Stage, layer int) *stageCell {
+	if worker < 0 || worker >= a.workers || s >= NumStages {
+		return nil
+	}
+	if layer < 0 {
+		layer = 0
+	}
+	if layer > a.layers {
+		layer = a.layers
+	}
+	return &a.cells[(worker*int(NumStages)+int(s))*(a.layers+1)+layer]
+}
+
+// StageCell is one non-empty attribution cell of a finished epoch.
+type StageCell struct {
+	Worker  int     `json:"worker"`
+	Stage   string  `json:"stage"`
+	Layer   int     `json:"layer"`
+	Seconds float64 `json:"seconds"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Msgs    int64   `json:"msgs,omitempty"`
+}
+
+// EpochRecord is the immutable flight record of one completed epoch. Cells
+// holds only non-empty (worker, stage, layer) slots.
+type EpochRecord struct {
+	Epoch       int         `json:"epoch"`
+	WallSeconds float64     `json:"wall_seconds"`
+	Loss        float64     `json:"loss"`
+	Workers     int         `json:"workers"`
+	Layers      int         `json:"layers"`
+	Cells       []StageCell `json:"cells"`
+}
+
+// StageSeconds sums the stage's time across all workers and layers.
+func (r *EpochRecord) StageSeconds(stage string) float64 {
+	var s float64
+	for _, c := range r.Cells {
+		if c.Stage == stage {
+			s += c.Seconds
+		}
+	}
+	return s
+}
+
+// LayerStageSeconds sums the stage's time at one layer across workers.
+func (r *EpochRecord) LayerStageSeconds(stage string, layer int) float64 {
+	var s float64
+	for _, c := range r.Cells {
+		if c.Stage == stage && c.Layer == layer {
+			s += c.Seconds
+		}
+	}
+	return s
+}
+
+// StageBytes sums the stage's traffic across all workers and layers.
+func (r *EpochRecord) StageBytes(stage string) int64 {
+	var b int64
+	for _, c := range r.Cells {
+		if c.Stage == stage {
+			b += c.Bytes
+		}
+	}
+	return b
+}
+
+// StageMsgs sums the stage's message count across workers and layers.
+func (r *EpochRecord) StageMsgs(stage string) int64 {
+	var n int64
+	for _, c := range r.Cells {
+		if c.Stage == stage {
+			n += c.Msgs
+		}
+	}
+	return n
+}
+
+// TotalBytes sums traffic across every cell. Each logical message is counted
+// once on the sender and once on the receiver, so clean-fabric runs report
+// exactly 2× the logical wire volume here.
+func (r *EpochRecord) TotalBytes() int64 {
+	var b int64
+	for _, c := range r.Cells {
+		b += c.Bytes
+	}
+	return b
+}
+
+// recorderKeep bounds the retained epoch history; beyond it the oldest
+// records are dropped (long nstrain runs must not grow without bound).
+const recorderKeep = 4096
+
+// FlightRecorder collects per-epoch stage attribution. One recorder serves
+// one engine; BeginEpoch/EndEpoch bracket each epoch, worker goroutines feed
+// cells through StageClock (time) and AddTraffic (bytes). All methods are
+// safe for concurrent use and no-ops on a nil receiver.
+type FlightRecorder struct {
+	cur atomic.Pointer[epochAccum]
+
+	mu   sync.Mutex
+	recs []EpochRecord
+}
+
+// NewFlightRecorder returns an empty recorder.
+func NewFlightRecorder() *FlightRecorder { return &FlightRecorder{} }
+
+// BeginEpoch opens the accumulator for one epoch over the given cluster
+// shape. An already-open epoch is discarded (protocol misuse, not fatal).
+func (r *FlightRecorder) BeginEpoch(epoch, workers, layers int) {
+	if r == nil || workers <= 0 || layers < 0 {
+		return
+	}
+	a := &epochAccum{
+		epoch: epoch, workers: workers, layers: layers,
+		cells: make([]stageCell, workers*int(NumStages)*(layers+1)),
+	}
+	r.cur.Store(a)
+}
+
+// EndEpoch closes the open epoch into an immutable record. Attribution
+// arriving after the swap (e.g. a late duplicate delivery) is dropped —
+// exactly-once counting is decided at the dedup point, not here.
+func (r *FlightRecorder) EndEpoch(wall time.Duration, loss float64) {
+	if r == nil {
+		return
+	}
+	a := r.cur.Swap(nil)
+	if a == nil {
+		return
+	}
+	rec := EpochRecord{
+		Epoch: a.epoch, WallSeconds: wall.Seconds(), Loss: loss,
+		Workers: a.workers, Layers: a.layers,
+	}
+	for w := 0; w < a.workers; w++ {
+		for s := Stage(0); s < NumStages; s++ {
+			for l := 0; l <= a.layers; l++ {
+				c := &a.cells[(w*int(NumStages)+int(s))*(a.layers+1)+l]
+				nanos, bytes, msgs := c.nanos.Load(), c.bytes.Load(), c.msgs.Load()
+				if nanos == 0 && bytes == 0 && msgs == 0 {
+					continue
+				}
+				rec.Cells = append(rec.Cells, StageCell{
+					Worker: w, Stage: s.String(), Layer: l,
+					Seconds: float64(nanos) / 1e9, Bytes: bytes, Msgs: msgs,
+				})
+			}
+		}
+	}
+	r.mu.Lock()
+	if len(r.recs) >= recorderKeep {
+		copy(r.recs, r.recs[1:])
+		r.recs = r.recs[:len(r.recs)-1]
+	}
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// AddTraffic attributes bytes and message counts to a stage cell of the open
+// epoch. A no-op when no epoch is open (e.g. inference traffic between
+// epochs) — time attribution has the same property via Clock.
+func (r *FlightRecorder) AddTraffic(worker int, s Stage, layer int, bytes, msgs int64) {
+	if r == nil {
+		return
+	}
+	a := r.cur.Load()
+	if a == nil {
+		return
+	}
+	if c := a.cell(worker, s, layer); c != nil {
+		c.bytes.Add(bytes)
+		c.msgs.Add(msgs)
+	}
+}
+
+// AddTime attributes a duration directly to a stage cell of the open epoch —
+// for intervals measured outside a worker's StageClock (barrier tails,
+// checkpoint saves). Non-positive durations are dropped.
+func (r *FlightRecorder) AddTime(worker int, s Stage, layer int, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	a := r.cur.Load()
+	if a == nil {
+		return
+	}
+	if c := a.cell(worker, s, layer); c != nil {
+		c.nanos.Add(int64(d))
+	}
+}
+
+// Clock starts a stage clock for one worker of the open epoch, initially in
+// StageForward at layer 1. Returns nil (a no-op clock) when the recorder is
+// nil or no epoch is open. The clock must be used from a single goroutine.
+func (r *FlightRecorder) Clock(worker int) *StageClock {
+	if r == nil {
+		return nil
+	}
+	a := r.cur.Load()
+	if a == nil || worker < 0 || worker >= a.workers {
+		return nil
+	}
+	return &StageClock{acc: a, worker: worker, stage: StageForward, layer: 1, last: time.Now()}
+}
+
+// Snapshot returns a copy of every completed epoch record, oldest first.
+func (r *FlightRecorder) Snapshot() []EpochRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochRecord, len(r.recs))
+	copy(out, r.recs)
+	return out
+}
+
+// Epochs returns the number of completed epoch records.
+func (r *FlightRecorder) Epochs() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// StageClock attributes one worker goroutine's wall time exclusively: at any
+// instant the worker is in exactly one (stage, layer), and Switch charges the
+// elapsed time to the stage being left. The per-worker stage sum therefore
+// equals the worker's measured span exactly — there is no "untracked" bucket
+// to hide time in. Not safe for concurrent use; nil is a no-op.
+type StageClock struct {
+	acc    *epochAccum
+	worker int
+	stage  Stage
+	layer  int
+	last   time.Time
+}
+
+// Switch charges elapsed time to the current stage and enters (s, layer).
+func (c *StageClock) Switch(s Stage, layer int) {
+	if c == nil || c.acc == nil {
+		return
+	}
+	now := time.Now()
+	if d := now.Sub(c.last); d > 0 {
+		if cell := c.acc.cell(c.worker, c.stage, c.layer); cell != nil {
+			cell.nanos.Add(int64(d))
+		}
+	}
+	c.stage, c.layer, c.last = s, layer, now
+}
+
+// End charges the final interval and detaches the clock.
+func (c *StageClock) End() {
+	if c == nil || c.acc == nil {
+		return
+	}
+	c.Switch(c.stage, c.layer)
+	c.acc = nil
+}

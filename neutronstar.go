@@ -41,6 +41,7 @@ import (
 	"neutronstar/internal/graph"
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
+	"neutronstar/internal/obs"
 	"neutronstar/internal/partition"
 	"neutronstar/internal/tensor"
 )
@@ -266,6 +267,7 @@ type Session struct {
 	eng   *engine.Engine
 	coll  *metrics.Collector
 	store *ckpt.Store
+	rec   *obs.FlightRecorder
 
 	mu        sync.Mutex
 	lastEpoch int
@@ -288,11 +290,15 @@ func NewSession(ds *Dataset, cfg Config) (*Session, error) {
 		store.Retain = cfg.CkptRetain
 		opts.Ckpt = &ckpt.Saver{Store: store, Every: cfg.CkptEvery}
 	}
+	// Every session records its epoch flights: the recorder's hot path is a
+	// handful of atomic adds per stage switch, cheap enough to keep always-on.
+	rec := obs.NewFlightRecorder()
+	opts.Recorder = rec
 	eng, err := engine.NewEngine(ds.inner, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{ds: ds, eng: eng, coll: coll, store: store}, nil
+	return &Session{ds: ds, eng: eng, coll: coll, store: store, rec: rec}, nil
 }
 
 // Resume restores the newest snapshot in Config.CkptDir and reports whether
@@ -534,6 +540,78 @@ func (s *Session) DependencySummary() (cached, communicated []int) {
 		}
 	}
 	return cached, communicated
+}
+
+// StageBreakdown is one stage's per-epoch mean attribution across the run:
+// how many seconds the cluster spent in the stage each epoch, and how many
+// bytes and messages the stage moved.
+type StageBreakdown struct {
+	Stage   string
+	Seconds float64
+	Bytes   int64
+	Msgs    int64
+}
+
+// StageReport aggregates the flight recorder into per-stage per-epoch means.
+// Empty before the first trained epoch. Stages that never accumulated time
+// or traffic are omitted.
+func (s *Session) StageReport() []StageBreakdown {
+	recs := s.rec.Snapshot()
+	if len(recs) == 0 {
+		return nil
+	}
+	n := float64(len(recs))
+	var out []StageBreakdown
+	for _, stage := range obs.StageNames() {
+		var sec float64
+		var b, m int64
+		for i := range recs {
+			sec += recs[i].StageSeconds(stage)
+			b += recs[i].StageBytes(stage)
+			m += recs[i].StageMsgs(stage)
+		}
+		if sec == 0 && b == 0 && m == 0 {
+			continue
+		}
+		out = append(out, StageBreakdown{Stage: stage, Seconds: sec / n,
+			Bytes: int64(float64(b) / n), Msgs: int64(float64(m) / n)})
+	}
+	return out
+}
+
+// FlightTimeline returns the per-epoch flight records plus the cost-model
+// validation as a JSON-marshalable value — the payload of the debug server's
+// /epochs endpoint. Safe to call concurrently with Train.
+func (s *Session) FlightTimeline() any {
+	out := map[string]any{"epochs": s.rec.Snapshot()}
+	if cr := s.eng.CostReport(); cr != nil {
+		out["cost_report"] = cr
+	}
+	return out
+}
+
+// CostSummary renders the cost-model validation (probed vs. fitted factors,
+// per-layer residuals, counterfactual plan flips) as human-readable lines.
+// Empty before the first trained epoch.
+func (s *Session) CostSummary() []string {
+	cr := s.eng.CostReport()
+	if cr == nil {
+		return nil
+	}
+	lines := []string{fmt.Sprintf(
+		"cost model: probed Tv=%.3g Te=%.3g Tc=%.3g; fitted Tv=%.3g Te=%.3g Tc=%.3g (%s)",
+		cr.Probed.Tv, cr.Probed.Te, cr.Probed.Tc,
+		cr.Fitted.Tv, cr.Fitted.Te, cr.Fitted.Tc, cr.FitMethod)}
+	for _, lr := range cr.Layers {
+		lines = append(lines, fmt.Sprintf(
+			"layer %d: compute meas/pred %.3g/%.3gs (res %+.0f%%), comm meas/pred %.3g/%.3gs (res %+.0f%%)",
+			lr.Layer, lr.MeasComputeSeconds, lr.PredComputeSeconds, 100*lr.ComputeResidual,
+			lr.MeasCommSeconds, lr.PredCommSeconds, 100*lr.CommResidual))
+	}
+	lines = append(lines, fmt.Sprintf(
+		"counterfactual (fitted costs): %d/%d decisions flip (%d cache->comm, %d comm->cache)",
+		cr.Flips.Flips(), cr.Flips.Slots, cr.Flips.CacheToComm, cr.Flips.CommToCache))
+	return lines
 }
 
 // Metrics returns the utilisation collector, or nil if Config.Metrics was

@@ -1,0 +1,68 @@
+// Command benchdiff compares two BENCH.json documents and fails on
+// performance regressions.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.15] [-warn-only] BASELINE.json CURRENT.json
+//
+// Exit codes:
+//
+//	0 — documents valid, no regression beyond tolerance
+//	1 — at least one regression (suppressed to 0 by -warn-only)
+//	2 — unreadable or schema-invalid document, or bad usage
+//
+// -warn-only still prints every regression but exits 0; CI uses it to make
+// cross-host baseline comparisons informational while keeping schema
+// violations fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"neutronstar/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 0.15, "regression tolerance (0.15 = fail beyond +15%)")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 (schema errors still exit 2)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-tol 0.15] [-warn-only] BASELINE.json CURRENT.json")
+		return 2
+	}
+	base, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	regs := bench.Compare(base, cur, *tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "benchdiff: ok (%d runs compared, tol %.0f%%)\n", len(cur.Runs), *tol*100)
+		return 0
+	}
+	for _, d := range regs {
+		fmt.Fprintln(stdout, "REGRESSION", d.String())
+	}
+	if *warnOnly {
+		fmt.Fprintf(stdout, "benchdiff: %d regression(s) beyond %.0f%% (warn-only)\n", len(regs), *tol*100)
+		return 0
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d regression(s) beyond %.0f%%\n", len(regs), *tol*100)
+	return 1
+}

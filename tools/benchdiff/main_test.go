@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neutronstar/internal/bench"
+)
+
+// golden is the schema fixture shared with the bench package tests.
+const golden = "../../internal/bench/testdata/golden.json"
+
+// perturbed writes a copy of the golden document with mutate applied and
+// returns its path.
+func perturbed(t *testing.T, mutate func(*bench.Doc)) string {
+	t.Helper()
+	doc, err := bench.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(doc)
+	path := filepath.Join(t.TempDir(), "cur.json")
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBenchdiffCleanExitsZero(t *testing.T) {
+	code, out, _ := runDiff(t, golden, golden)
+	if code != 0 {
+		t.Fatalf("exit %d comparing a document with itself\n%s", code, out)
+	}
+	if !strings.Contains(out, "benchdiff: ok") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestBenchdiffRegressionExitsOne(t *testing.T) {
+	cur := perturbed(t, func(d *bench.Doc) { d.Runs[0].WallMedianSeconds *= 2 })
+	code, out, _ := runDiff(t, golden, cur)
+	if code != 1 {
+		t.Fatalf("exit %d on a 2x wall regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION hybrid-w4/wall_median_seconds") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestBenchdiffWarnOnlySuppressesExitOne(t *testing.T) {
+	cur := perturbed(t, func(d *bench.Doc) { d.Runs[0].BytesPerEpoch *= 3 })
+	code, out, _ := runDiff(t, "-warn-only", golden, cur)
+	if code != 0 {
+		t.Fatalf("exit %d with -warn-only\n%s", code, out)
+	}
+	// The regression must still be reported, just not fatal.
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "warn-only") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestBenchdiffCustomTolerance(t *testing.T) {
+	cur := perturbed(t, func(d *bench.Doc) { d.Runs[0].WallMedianSeconds *= 1.3 })
+	if code, out, _ := runDiff(t, golden, cur); code != 1 {
+		t.Fatalf("exit %d: +30%% should fail the default 15%% tolerance\n%s", code, out)
+	}
+	if code, out, _ := runDiff(t, "-tol", "0.5", golden, cur); code != 0 {
+		t.Fatalf("exit %d: +30%% should pass -tol 0.5\n%s", code, out)
+	}
+}
+
+func TestBenchdiffSchemaErrorsExitTwo(t *testing.T) {
+	t.Run("missing file", func(t *testing.T) {
+		code, _, errb := runDiff(t, golden, filepath.Join(t.TempDir(), "absent.json"))
+		if code != 2 {
+			t.Fatalf("exit %d on a missing file", code)
+		}
+		if !strings.Contains(errb, "benchdiff:") {
+			t.Fatalf("stderr = %q", errb)
+		}
+	})
+	t.Run("invalid schema", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(bad, []byte(`{"schema_version": 99, "runs": []}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, _, errb := runDiff(t, golden, bad)
+		if code != 2 {
+			t.Fatalf("exit %d on a schema-invalid document", code)
+		}
+		if !strings.Contains(errb, "schema_version") {
+			t.Fatalf("stderr = %q", errb)
+		}
+	})
+	t.Run("warn-only does not mask schema errors", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(bad, []byte(`not json`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, _, _ := runDiff(t, "-warn-only", golden, bad); code != 2 {
+			t.Fatalf("exit %d: -warn-only must not suppress schema failures", code)
+		}
+	})
+	t.Run("bad usage", func(t *testing.T) {
+		if code, _, _ := runDiff(t, golden); code != 2 {
+			t.Fatalf("exit %d with one positional argument", code)
+		}
+	})
+}
