@@ -40,6 +40,7 @@ func printRows(label string, rows []experiments.Row) {
 // BenchmarkTable2Datasets regenerates the dataset corpus (paper Table 2) and
 // reports generation throughput.
 func BenchmarkTable2Datasets(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		edges := 0
 		for _, name := range append(dataset.BigGraphNames(), dataset.CitationNames()...) {
@@ -58,6 +59,7 @@ func BenchmarkTable2Datasets(b *testing.B) {
 
 // BenchmarkFig2aGraphInputs: DepCache vs DepComm across graph inputs.
 func BenchmarkFig2aGraphInputs(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		printRows("fig2a", experiments.Fig2a(sc))
@@ -66,6 +68,7 @@ func BenchmarkFig2aGraphInputs(b *testing.B) {
 
 // BenchmarkFig2bHiddenSize: DepCache vs DepComm across hidden sizes.
 func BenchmarkFig2bHiddenSize(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		printRows("fig2b", experiments.Fig2b(sc))
@@ -74,6 +77,7 @@ func BenchmarkFig2bHiddenSize(b *testing.B) {
 
 // BenchmarkFig2cClusterEnv: DepCache vs DepComm across network profiles.
 func BenchmarkFig2cClusterEnv(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		printRows("fig2c", experiments.Fig2c(sc))
@@ -82,6 +86,7 @@ func BenchmarkFig2cClusterEnv(b *testing.B) {
 
 // BenchmarkFig9Ablation: raw engines plus the R/L/P optimisation stack.
 func BenchmarkFig9Ablation(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Fig9(sc)
@@ -97,6 +102,7 @@ func BenchmarkFig9Ablation(b *testing.B) {
 // BenchmarkTable3CostBenefit: multi-epoch runtime plus the preprocessing
 // (Algorithm 4) overhead.
 func BenchmarkTable3CostBenefit(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table3(sc, 5)
@@ -113,6 +119,7 @@ func BenchmarkTable3CostBenefit(b *testing.B) {
 
 // BenchmarkFig10Overall: the five systems across three models.
 func BenchmarkFig10Overall(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	if os.Getenv("NS_BENCH_FULL") == "" {
 		sc.Graphs = []string{"google", "reddit"} // 3 models x 5 systems is the big axis
@@ -124,6 +131,7 @@ func BenchmarkFig10Overall(b *testing.B) {
 
 // BenchmarkFig11Ratio: forced cache/communicate ratio sweep.
 func BenchmarkFig11Ratio(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		printRows("fig11/gcn-reddit", experiments.Fig11(sc, nn.GCN, "reddit"))
@@ -135,6 +143,7 @@ func BenchmarkFig11Ratio(b *testing.B) {
 
 // BenchmarkFig12Scaling: cluster sizes 1..16.
 func BenchmarkFig12Scaling(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []int{1, 2, 4, 8}
 	graphs := []string{"pokec", "reddit"}
 	if os.Getenv("NS_BENCH_FULL") != "" {
@@ -150,6 +159,7 @@ func BenchmarkFig12Scaling(b *testing.B) {
 
 // BenchmarkFig13Utilization: accelerator/host/network utilisation per system.
 func BenchmarkFig13Utilization(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	graph := "pokec"
 	if os.Getenv("NS_BENCH_FULL") != "" {
@@ -166,6 +176,7 @@ func BenchmarkFig13Utilization(b *testing.B) {
 
 // BenchmarkFig14Accuracy: time-to-accuracy for the four training strategies.
 func BenchmarkFig14Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	maxEpochs, evalEvery := 25, 5
 	if os.Getenv("NS_BENCH_FULL") != "" {
@@ -184,6 +195,7 @@ func BenchmarkFig14Accuracy(b *testing.B) {
 
 // BenchmarkFig15Partitioners: DepComm vs Hybrid under three partitioners.
 func BenchmarkFig15Partitioners(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.Graphs = []string{"reddit", "livejournal"}
 	if os.Getenv("NS_BENCH_FULL") != "" {
@@ -204,6 +216,7 @@ func BenchmarkFig15Partitioners(b *testing.B) {
 
 // BenchmarkTable4SharedMemory: shared-memory trainer vs distributed engines.
 func BenchmarkTable4SharedMemory(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		printRows("table4", experiments.Table4(sc))
@@ -212,6 +225,7 @@ func BenchmarkTable4SharedMemory(b *testing.B) {
 
 // BenchmarkTable5SingleNode: single-worker engines on the small graphs.
 func BenchmarkTable5SingleNode(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		printRows("table5", experiments.Table5(2))
 	}
@@ -222,6 +236,7 @@ func BenchmarkTable5SingleNode(b *testing.B) {
 // chunk-pipelined overlap, chunked vs broadcast transfer, all-reduce vs
 // parameter server.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	graph := "reddit"
 	for i := 0; i < b.N; i++ {

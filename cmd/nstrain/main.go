@@ -47,6 +47,7 @@ func main() {
 		lr        = flag.Float64("lr", 0.01, "learning rate")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		opt       = flag.Bool("optimized", true, "enable ring/lock-free/overlap optimisations")
+		pool      = flag.Bool("pool", defaultPool(), "recycle tensor memory across epochs (default also settable via NS_POOL=0/1)")
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
 		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint cadence in epochs")
 		resume    = flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
@@ -84,6 +85,7 @@ func main() {
 		Network: neutronstar.NetworkKind(*network),
 		Layers:  *layers,
 		Ring:    *opt, LockFree: *opt, Overlap: *opt,
+		Pool:      *pool,
 		LR:        *lr,
 		Seed:      *seed,
 		CkptDir:   *ckptDir,
@@ -178,6 +180,16 @@ func main() {
 	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
 		"val", s.Accuracy(neutronstar.SplitVal),
 		"test", s.Accuracy(neutronstar.SplitTest))
+}
+
+// defaultPool reads the NS_POOL environment toggle: pooling is on unless
+// NS_POOL is set to 0/false/off. The -pool flag overrides either way.
+func defaultPool() bool {
+	switch strings.ToLower(os.Getenv("NS_POOL")) {
+	case "0", "false", "off", "no":
+		return false
+	}
+	return true
 }
 
 // validateFlags rejects nonsensical flag combinations up front with a usage

@@ -44,7 +44,7 @@ func (v *Variable) accumulate(g *tensor.Tensor) {
 		return
 	}
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Value.Rows(), v.Value.Cols())
+		v.Grad = v.tape.alloc(v.Value.Rows(), v.Value.Cols())
 	}
 	tensor.AddInto(v.Grad, v.Grad, g)
 }
@@ -60,10 +60,27 @@ func (v *Variable) ZeroGrad() {
 // reverse. A Tape is not safe for concurrent use; each worker builds its own.
 type Tape struct {
 	nodes []*Variable
+	arena *tensor.Arena
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape whose intermediates are heap-allocated.
 func NewTape() *Tape { return &Tape{} }
+
+// NewTapeArena returns an empty tape that draws every op output, backward
+// temporary and gradient accumulator from the arena. The caller owns the
+// arena's lifetime: it must release only after the tape and everything that
+// references its tensors (downstream tapes, in-flight messages, uncollected
+// gradients) are dead — in the engine, the epoch barrier.
+func NewTapeArena(a *tensor.Arena) *Tape { return &Tape{arena: a} }
+
+// alloc returns a zeroed tensor from the tape's arena, or a fresh heap
+// tensor when the tape has none (including the nil tape of detached ops).
+func (t *Tape) alloc(rows, cols int) *tensor.Tensor {
+	if t == nil {
+		return tensor.New(rows, cols)
+	}
+	return t.arena.Get(rows, cols)
+}
 
 // Reset drops all recorded operations, keeping the backing storage for reuse.
 func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
@@ -118,7 +135,7 @@ func (t *Tape) Backward(root *Variable, seed *tensor.Tensor) {
 			panic(fmt.Sprintf("autograd: nil seed requires scalar root, got %dx%d",
 				root.Value.Rows(), root.Value.Cols()))
 		}
-		seed = tensor.New(1, 1)
+		seed = t.alloc(1, 1)
 		seed.Set(0, 0, 1)
 	}
 	if !seed.SameShape(root.Value) {
@@ -137,7 +154,7 @@ func (t *Tape) Backward(root *Variable, seed *tensor.Tensor) {
 // non-requiresGrad leaf (harmless: its backward is nil).
 func (v *Variable) accumulateForce(g *tensor.Tensor) {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Value.Rows(), v.Value.Cols())
+		v.Grad = v.tape.alloc(v.Value.Rows(), v.Value.Cols())
 	}
 	tensor.AddInto(v.Grad, v.Grad, g)
 }

@@ -20,7 +20,7 @@ import (
 func (t *Tape) Gather(x *Variable, idx []int32) *Variable {
 	start := time.Now()
 	cols := x.Value.Cols()
-	out := tensor.New(len(idx), cols)
+	out := t.alloc(len(idx), cols)
 	for i, src := range idx {
 		copy(out.Row(i), x.Value.Row(int(src)))
 	}
@@ -29,7 +29,7 @@ func (t *Tape) Gather(x *Variable, idx []int32) *Variable {
 		if !x.requiresGrad {
 			return
 		}
-		g := tensor.New(x.Value.Rows(), x.Value.Cols())
+		g := t.alloc(x.Value.Rows(), x.Value.Cols())
 		for i, src := range idx {
 			dst := g.Row(int(src))
 			gr := grad.Row(i)
@@ -50,7 +50,7 @@ func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variab
 	}
 	start := time.Now()
 	cols := edges.Value.Cols()
-	out := tensor.New(numRows, cols)
+	out := t.alloc(numRows, cols)
 	for e, d := range idx {
 		dst := out.Row(int(d))
 		src := edges.Value.Row(e)
@@ -63,7 +63,7 @@ func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variab
 		if !edges.requiresGrad {
 			return
 		}
-		g := tensor.New(len(idx), cols)
+		g := t.alloc(len(idx), cols)
 		for e, d := range idx {
 			copy(g.Row(e), grad.Row(int(d)))
 		}
@@ -77,7 +77,7 @@ func (t *Tape) ScatterAddRows(edges *Variable, idx []int32, numRows int) *Variab
 // max, matching the subgradient convention of max-pooling aggregators.
 func (t *Tape) ScatterMaxRows(edges *Variable, idx []int32, numRows int) *Variable {
 	cols := edges.Value.Cols()
-	out := tensor.New(numRows, cols)
+	out := t.alloc(numRows, cols)
 	argmax := make([]int32, numRows*cols)
 	for i := range argmax {
 		argmax[i] = -1
@@ -107,7 +107,7 @@ func (t *Tape) ScatterMaxRows(edges *Variable, idx []int32, numRows int) *Variab
 		if !edges.requiresGrad {
 			return
 		}
-		g := tensor.New(edges.Value.Rows(), cols)
+		g := t.alloc(edges.Value.Rows(), cols)
 		for i, e := range argmax {
 			if e >= 0 {
 				g.Data()[int(e)*cols+i%cols] += grad.Data()[i]
@@ -129,7 +129,7 @@ func (t *Tape) SegmentSoftmax(scores *Variable, offsets []int32) *Variable {
 	if int(offsets[len(offsets)-1]) != e {
 		panic(fmt.Sprintf("autograd: SegmentSoftmax offsets end %d != %d rows", offsets[len(offsets)-1], e))
 	}
-	out := tensor.New(e, 1)
+	out := t.alloc(e, 1)
 	src := scores.Value.Data()
 	dst := out.Data()
 	for s := 0; s+1 < len(offsets); s++ {
@@ -158,7 +158,7 @@ func (t *Tape) SegmentSoftmax(scores *Variable, offsets []int32) *Variable {
 		if !scores.requiresGrad {
 			return
 		}
-		g := tensor.New(e, 1)
+		g := t.alloc(e, 1)
 		gd, p := grad.Data(), out.Data()
 		for s := 0; s+1 < len(offsets); s++ {
 			lo, hi := int(offsets[s]), int(offsets[s+1])
@@ -182,7 +182,7 @@ func (t *Tape) BroadcastColMul(x, c *Variable) *Variable {
 		panic("autograd: BroadcastColMul wants c of shape Rx1 matching x rows")
 	}
 	r, cols := x.Value.Rows(), x.Value.Cols()
-	out := tensor.New(r, cols)
+	out := t.alloc(r, cols)
 	for i := 0; i < r; i++ {
 		ci := c.Value.At(i, 0)
 		src, dst := x.Value.Row(i), out.Row(i)
@@ -192,7 +192,7 @@ func (t *Tape) BroadcastColMul(x, c *Variable) *Variable {
 	}
 	return t.record(out, "broadcast_col_mul", func(grad *tensor.Tensor) {
 		if x.requiresGrad {
-			gx := tensor.New(r, cols)
+			gx := t.alloc(r, cols)
 			for i := 0; i < r; i++ {
 				ci := c.Value.At(i, 0)
 				src, dst := grad.Row(i), gx.Row(i)
@@ -203,7 +203,7 @@ func (t *Tape) BroadcastColMul(x, c *Variable) *Variable {
 			x.accumulate(gx)
 		}
 		if c.requiresGrad {
-			gc := tensor.New(r, 1)
+			gc := t.alloc(r, 1)
 			for i := 0; i < r; i++ {
 				gc.Set(i, 0, tensor.Dot(grad.Row(i), x.Value.Row(i)))
 			}

@@ -9,13 +9,14 @@ import (
 
 // LogSoftmax applies a row-wise log-softmax.
 func (t *Tape) LogSoftmax(x *Variable) *Variable {
-	out := tensor.LogSoftmaxRows(x.Value)
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.LogSoftmaxRowsInto(out, x.Value)
 	return t.record(out, "log_softmax", func(grad *tensor.Tensor) {
 		if !x.requiresGrad {
 			return
 		}
 		// d/dx_j = g_j - softmax(x)_j * sum_k g_k, per row.
-		g := tensor.New(grad.Rows(), grad.Cols())
+		g := t.alloc(grad.Rows(), grad.Cols())
 		for i := 0; i < grad.Rows(); i++ {
 			gr := grad.Row(i)
 			or := out.Row(i)
@@ -51,7 +52,7 @@ func (t *Tape) NLLLossMasked(logp *Variable, labels []int32, mask []bool) (*Vari
 		n++
 		loss -= float64(logp.Value.At(i, int(labels[i])))
 	}
-	out := tensor.New(1, 1)
+	out := t.alloc(1, 1)
 	if n > 0 {
 		out.Set(0, 0, float32(loss/float64(n)))
 	}
@@ -61,7 +62,7 @@ func (t *Tape) NLLLossMasked(logp *Variable, labels []int32, mask []bool) (*Vari
 			return
 		}
 		scale := grad.At(0, 0) / float32(count)
-		g := tensor.New(r, logp.Value.Cols())
+		g := t.alloc(r, logp.Value.Cols())
 		for i := 0; i < r; i++ {
 			if mask[i] {
 				g.Set(i, int(labels[i]), -scale)
@@ -82,14 +83,14 @@ func (t *Tape) MSELoss(pred *Variable, target *tensor.Tensor) *Variable {
 		d := float64(v - target.Data()[i])
 		loss += d * d
 	}
-	out := tensor.New(1, 1)
+	out := t.alloc(1, 1)
 	out.Set(0, 0, float32(loss/n))
 	return t.record(out, "mse_loss", func(grad *tensor.Tensor) {
 		if !pred.requiresGrad {
 			return
 		}
 		scale := grad.At(0, 0) * float32(2/n)
-		g := tensor.New(pred.Value.Rows(), pred.Value.Cols())
+		g := t.alloc(pred.Value.Rows(), pred.Value.Cols())
 		for i, v := range pred.Value.Data() {
 			g.Data()[i] = scale * (v - target.Data()[i])
 		}
@@ -99,7 +100,7 @@ func (t *Tape) MSELoss(pred *Variable, target *tensor.Tensor) *Variable {
 
 // Sigmoid applies the logistic function element-wise.
 func (t *Tape) Sigmoid(x *Variable) *Variable {
-	out := tensor.New(x.Value.Rows(), x.Value.Cols())
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
 	for i, v := range x.Value.Data() {
 		out.Data()[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
@@ -107,7 +108,7 @@ func (t *Tape) Sigmoid(x *Variable) *Variable {
 		if !x.requiresGrad {
 			return
 		}
-		g := tensor.New(grad.Rows(), grad.Cols())
+		g := t.alloc(grad.Rows(), grad.Cols())
 		for i, s := range out.Data() {
 			g.Data()[i] = grad.Data()[i] * s * (1 - s)
 		}
@@ -130,14 +131,14 @@ func (t *Tape) BCEWithLogitsLoss(logits *Variable, targets []float32) *Variable 
 		// max(x,0) - x*t + log(1+exp(-|x|))
 		loss += math.Max(xf, 0) - xf*tf + math.Log1p(math.Exp(-math.Abs(xf)))
 	}
-	out := tensor.New(1, 1)
+	out := t.alloc(1, 1)
 	out.Set(0, 0, float32(loss/float64(n)))
 	return t.record(out, "bce_logits", func(grad *tensor.Tensor) {
 		if !logits.requiresGrad {
 			return
 		}
 		scale := grad.At(0, 0) / float32(n)
-		g := tensor.New(logits.Value.Rows(), logits.Value.Cols())
+		g := t.alloc(logits.Value.Rows(), logits.Value.Cols())
 		for i, x := range logits.Value.Data() {
 			s := float32(1 / (1 + math.Exp(-float64(x))))
 			g.Data()[i] = scale * (s - targets[i])
@@ -150,7 +151,7 @@ func (t *Tape) BCEWithLogitsLoss(logits *Variable, targets []float32) *Variable 
 // the pairing reduction used by dot-product edge decoders.
 func (t *Tape) RowSum(x *Variable) *Variable {
 	r := x.Value.Rows()
-	out := tensor.New(r, 1)
+	out := t.alloc(r, 1)
 	for i := 0; i < r; i++ {
 		var s float32
 		for _, v := range x.Value.Row(i) {
@@ -162,7 +163,7 @@ func (t *Tape) RowSum(x *Variable) *Variable {
 		if !x.requiresGrad {
 			return
 		}
-		g := tensor.New(r, x.Value.Cols())
+		g := t.alloc(r, x.Value.Cols())
 		for i := 0; i < r; i++ {
 			gi := grad.At(i, 0)
 			row := g.Row(i)

@@ -8,20 +8,26 @@ import (
 
 // MatMul returns a @ b on the tape.
 func (t *Tape) MatMul(a, b *Variable) *Variable {
-	out := tensor.MatMul(a.Value, b.Value)
+	out := t.alloc(a.Value.Rows(), b.Value.Cols())
+	tensor.MatMulInto(out, a.Value, b.Value)
 	return t.record(out, "matmul", func(grad *tensor.Tensor) {
 		if a.requiresGrad {
-			a.accumulate(tensor.MatMulTB(grad, b.Value)) // dA = dOut @ Bᵀ
+			ga := t.alloc(grad.Rows(), b.Value.Rows())
+			tensor.MatMulTBInto(ga, grad, b.Value) // dA = dOut @ Bᵀ
+			a.accumulate(ga)
 		}
 		if b.requiresGrad {
-			b.accumulate(tensor.MatMulTA(a.Value, grad)) // dB = Aᵀ @ dOut
+			gb := t.alloc(a.Value.Cols(), grad.Cols())
+			tensor.MatMulTAInto(gb, a.Value, grad) // dB = Aᵀ @ dOut
+			b.accumulate(gb)
 		}
 	}, a, b)
 }
 
 // Add returns a + b element-wise.
 func (t *Tape) Add(a, b *Variable) *Variable {
-	out := tensor.Add(a.Value, b.Value)
+	out := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.AddInto(out, a.Value, b.Value)
 	return t.record(out, "add", func(grad *tensor.Tensor) {
 		a.accumulate(grad)
 		b.accumulate(grad)
@@ -30,50 +36,86 @@ func (t *Tape) Add(a, b *Variable) *Variable {
 
 // AddBias adds the 1xC row vector bias to every row of x.
 func (t *Tape) AddBias(x, bias *Variable) *Variable {
-	out := x.Value.Clone()
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	out.CopyFrom(x.Value)
 	tensor.AddRowVector(out, bias.Value)
 	return t.record(out, "add_bias", func(grad *tensor.Tensor) {
 		x.accumulate(grad)
 		if bias.requiresGrad {
-			bias.accumulate(tensor.SumRows(grad))
+			gb := t.alloc(1, grad.Cols())
+			tensor.SumRowsInto(gb, grad)
+			bias.accumulate(gb)
+		}
+	}, x, bias)
+}
+
+// AddBiasReLU fuses AddBias and ReLU: max(0, x + bias) in one pass, with no
+// pre-activation intermediate on the tape. Forward and backward are
+// bit-identical to the unfused chain (the rectifier's mask can be read off
+// the fused output because out > 0 exactly when x+bias > 0).
+func (t *Tape) AddBiasReLU(x, bias *Variable) *Variable {
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.AddBiasReLUInto(out, x.Value, bias.Value)
+	return t.record(out, "add_bias_relu", func(grad *tensor.Tensor) {
+		g := t.alloc(grad.Rows(), grad.Cols())
+		tensor.ReLUBackwardInto(g, grad, out)
+		x.accumulate(g)
+		if bias.requiresGrad {
+			gb := t.alloc(1, grad.Cols())
+			tensor.SumRowsInto(gb, g)
+			bias.accumulate(gb)
 		}
 	}, x, bias)
 }
 
 // Scale returns x * s.
 func (t *Tape) Scale(x *Variable, s float32) *Variable {
-	out := tensor.Scale(x.Value, s)
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.ScaleInto(out, x.Value, s)
 	return t.record(out, "scale", func(grad *tensor.Tensor) {
-		x.accumulate(tensor.Scale(grad, s))
+		g := t.alloc(grad.Rows(), grad.Cols())
+		tensor.ScaleInto(g, grad, s)
+		x.accumulate(g)
 	}, x)
 }
 
 // Mul returns the element-wise product a*b.
 func (t *Tape) Mul(a, b *Variable) *Variable {
-	out := tensor.Mul(a.Value, b.Value)
+	out := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.MulInto(out, a.Value, b.Value)
 	return t.record(out, "mul", func(grad *tensor.Tensor) {
 		if a.requiresGrad {
-			a.accumulate(tensor.Mul(grad, b.Value))
+			ga := t.alloc(grad.Rows(), grad.Cols())
+			tensor.MulInto(ga, grad, b.Value)
+			a.accumulate(ga)
 		}
 		if b.requiresGrad {
-			b.accumulate(tensor.Mul(grad, a.Value))
+			gb := t.alloc(grad.Rows(), grad.Cols())
+			tensor.MulInto(gb, grad, a.Value)
+			b.accumulate(gb)
 		}
 	}, a, b)
 }
 
 // ReLU applies max(0, x) element-wise.
 func (t *Tape) ReLU(x *Variable) *Variable {
-	out := tensor.ReLU(x.Value)
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.ReLUInto(out, x.Value)
 	return t.record(out, "relu", func(grad *tensor.Tensor) {
-		x.accumulate(tensor.ReLUBackward(grad, x.Value))
+		g := t.alloc(grad.Rows(), grad.Cols())
+		tensor.ReLUBackwardInto(g, grad, x.Value)
+		x.accumulate(g)
 	}, x)
 }
 
 // LeakyReLU applies x>0 ? x : slope*x element-wise.
 func (t *Tape) LeakyReLU(x *Variable, slope float32) *Variable {
-	out := tensor.LeakyReLU(x.Value, slope)
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.LeakyReLUInto(out, x.Value, slope)
 	return t.record(out, "leaky_relu", func(grad *tensor.Tensor) {
-		x.accumulate(tensor.LeakyReLUBackward(grad, x.Value, slope))
+		g := t.alloc(grad.Rows(), grad.Cols())
+		tensor.LeakyReLUBackwardInto(g, grad, x.Value, slope)
+		x.accumulate(g)
 	}, x)
 }
 
@@ -83,9 +125,13 @@ func (t *Tape) Dropout(x *Variable, p float32, rng *tensor.RNG, training bool) *
 	if !training || p <= 0 {
 		return x
 	}
-	out, mask := tensor.Dropout(x.Value, p, rng)
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
+	mask := t.alloc(x.Value.Rows(), x.Value.Cols())
+	tensor.DropoutInto(out, mask, x.Value, p, rng)
 	return t.record(out, "dropout", func(grad *tensor.Tensor) {
-		x.accumulate(tensor.Mul(grad, mask))
+		g := t.alloc(grad.Rows(), grad.Cols())
+		tensor.MulInto(g, grad, mask)
+		x.accumulate(g)
 	}, x)
 }
 
@@ -95,7 +141,7 @@ func (t *Tape) ConcatCols(a, b *Variable) *Variable {
 		panic(fmt.Sprintf("autograd: ConcatCols rows %d vs %d", a.Value.Rows(), b.Value.Rows()))
 	}
 	r, ca, cb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
-	out := tensor.New(r, ca+cb)
+	out := t.alloc(r, ca+cb)
 	for i := 0; i < r; i++ {
 		row := out.Row(i)
 		copy(row[:ca], a.Value.Row(i))
@@ -103,14 +149,14 @@ func (t *Tape) ConcatCols(a, b *Variable) *Variable {
 	}
 	return t.record(out, "concat_cols", func(grad *tensor.Tensor) {
 		if a.requiresGrad {
-			ga := tensor.New(r, ca)
+			ga := t.alloc(r, ca)
 			for i := 0; i < r; i++ {
 				copy(ga.Row(i), grad.Row(i)[:ca])
 			}
 			a.accumulate(ga)
 		}
 		if b.requiresGrad {
-			gb := tensor.New(r, cb)
+			gb := t.alloc(r, cb)
 			for i := 0; i < r; i++ {
 				copy(gb.Row(i), grad.Row(i)[ca:])
 			}
@@ -132,7 +178,7 @@ func (t *Tape) ConcatRows(parts ...*Variable) *Variable {
 		}
 		total += p.Value.Rows()
 	}
-	out := tensor.New(total, cols)
+	out := t.alloc(total, cols)
 	off := 0
 	for _, p := range parts {
 		copy(out.Data()[off*cols:], p.Value.Data())
@@ -144,7 +190,9 @@ func (t *Tape) ConcatRows(parts ...*Variable) *Variable {
 		for _, p := range ps {
 			n := p.Value.Rows()
 			if p.requiresGrad {
-				p.accumulate(grad.RowSlice(off, off+n).Clone())
+				g := t.alloc(n, cols)
+				copy(g.Data(), grad.Data()[off*cols:(off+n)*cols])
+				p.accumulate(g)
 			}
 			off += n
 		}
@@ -153,12 +201,14 @@ func (t *Tape) ConcatRows(parts ...*Variable) *Variable {
 
 // SliceRows takes rows [lo, hi) of x as a new variable.
 func (t *Tape) SliceRows(x *Variable, lo, hi int) *Variable {
-	out := x.Value.RowSlice(lo, hi).Clone()
+	src := x.Value.RowSlice(lo, hi)
+	out := t.alloc(src.Rows(), src.Cols())
+	out.CopyFrom(src)
 	return t.record(out, "slice_rows", func(grad *tensor.Tensor) {
 		if !x.requiresGrad {
 			return
 		}
-		g := tensor.New(x.Value.Rows(), x.Value.Cols())
+		g := t.alloc(x.Value.Rows(), x.Value.Cols())
 		copy(g.Data()[lo*g.Cols():hi*g.Cols()], grad.Data())
 		x.accumulate(g)
 	}, x)
@@ -170,7 +220,7 @@ func (t *Tape) MulColVec(x *Variable, coeff []float32) *Variable {
 	if len(coeff) != x.Value.Rows() {
 		panic(fmt.Sprintf("autograd: MulColVec %d coeffs for %d rows", len(coeff), x.Value.Rows()))
 	}
-	out := tensor.New(x.Value.Rows(), x.Value.Cols())
+	out := t.alloc(x.Value.Rows(), x.Value.Cols())
 	for i := 0; i < x.Value.Rows(); i++ {
 		c := coeff[i]
 		src, dst := x.Value.Row(i), out.Row(i)
@@ -179,7 +229,7 @@ func (t *Tape) MulColVec(x *Variable, coeff []float32) *Variable {
 		}
 	}
 	return t.record(out, "mul_colvec", func(grad *tensor.Tensor) {
-		g := tensor.New(grad.Rows(), grad.Cols())
+		g := t.alloc(grad.Rows(), grad.Cols())
 		for i := 0; i < grad.Rows(); i++ {
 			c := coeff[i]
 			src, dst := grad.Row(i), g.Row(i)
@@ -198,13 +248,13 @@ func (t *Tape) RowDot(x, w *Variable) *Variable {
 		panic("autograd: RowDot wants 1xC weight matching x columns")
 	}
 	r := x.Value.Rows()
-	out := tensor.New(r, 1)
+	out := t.alloc(r, 1)
 	for i := 0; i < r; i++ {
 		out.Set(i, 0, tensor.Dot(x.Value.Row(i), w.Value.Row(0)))
 	}
 	return t.record(out, "row_dot", func(grad *tensor.Tensor) {
 		if x.requiresGrad {
-			gx := tensor.New(r, x.Value.Cols())
+			gx := t.alloc(r, x.Value.Cols())
 			for i := 0; i < r; i++ {
 				gi := grad.At(i, 0)
 				wr := w.Value.Row(0)
@@ -216,7 +266,7 @@ func (t *Tape) RowDot(x, w *Variable) *Variable {
 			x.accumulate(gx)
 		}
 		if w.requiresGrad {
-			gw := tensor.New(1, w.Value.Cols())
+			gw := t.alloc(1, w.Value.Cols())
 			for i := 0; i < r; i++ {
 				gi := grad.At(i, 0)
 				xr := x.Value.Row(i)

@@ -30,8 +30,10 @@ func (d Delta) String() string {
 // returns the regressions: metrics where cur exceeds base by more than tol
 // (e.g. tol=0.15 flags >15% slower or >15% more traffic). Runs present in
 // only one document are skipped — adding or removing a configuration is not
-// a regression. The compared metrics are wall_median_seconds and
-// bytes_per_epoch: time and traffic, the two axes the paper optimises.
+// a regression. The compared metrics are wall_median_seconds,
+// bytes_per_epoch and allocs_per_epoch: time, traffic, and allocator
+// pressure. Allocs are only compared when both documents report them
+// (pre-v2 baselines carry zero there and are skipped).
 func Compare(base, cur *Doc, tol float64) []Delta {
 	byName := make(map[string]*Run, len(base.Runs))
 	for i := range base.Runs {
@@ -51,6 +53,12 @@ func Compare(base, cur *Doc, tol float64) []Delta {
 		if d := (Delta{Run: c.Name, Metric: "bytes_per_epoch",
 			Old: float64(b.BytesPerEpoch), New: float64(c.BytesPerEpoch)}); d.Ratio() > 1+tol {
 			regs = append(regs, d)
+		}
+		if b.AllocsPerEpoch > 0 && c.AllocsPerEpoch > 0 {
+			if d := (Delta{Run: c.Name, Metric: "allocs_per_epoch",
+				Old: float64(b.AllocsPerEpoch), New: float64(c.AllocsPerEpoch)}); d.Ratio() > 1+tol {
+				regs = append(regs, d)
+			}
 		}
 	}
 	return regs

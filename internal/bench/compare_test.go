@@ -29,6 +29,25 @@ func TestCompareFlagsByteRegression(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+	cur.Runs[0].AllocsPerEpoch = base.Runs[0].AllocsPerEpoch * 2
+	regs := Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_epoch" {
+		t.Fatalf("regressions = %v, want one allocs_per_epoch delta", regs)
+	}
+}
+
+func TestCompareSkipsAllocsWhenBaselineLacksThem(t *testing.T) {
+	// A pre-v2 baseline deserialises with AllocsPerEpoch == 0; current runs
+	// always report a positive count, which must not read as a regression.
+	base, cur := goldenDoc(), goldenDoc()
+	base.Runs[0].AllocsPerEpoch = 0
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("alloc count compared against absent baseline: %v", regs)
+	}
+}
+
 func TestCompareWithinToleranceClean(t *testing.T) {
 	base, cur := goldenDoc(), goldenDoc()
 	cur.Runs[0].WallMedianSeconds = base.Runs[0].WallMedianSeconds * 1.10

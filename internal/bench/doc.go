@@ -22,7 +22,11 @@ import (
 )
 
 // SchemaVersion is the current BENCH.json schema version.
-const SchemaVersion = 1
+//
+// v2 added allocator metrics: Run.AllocsPerEpoch, Run.HeapBytesPerEpoch and
+// the optional Run.Pool summary. Older tools reject v2 documents (the version
+// check is exact), so the committed baseline must be regenerated on a bump.
+const SchemaVersion = 2
 
 // Host records where the document was produced. Comparisons across different
 // hosts are informational, not regressions.
@@ -92,6 +96,18 @@ type ResidualSummary struct {
 	Slots            int `json:"slots"`
 }
 
+// PoolSummary reports the tensor pool's behaviour over a pooled run.
+type PoolSummary struct {
+	// Hits / Misses count pool Gets served from a bucket vs. freshly
+	// allocated, over the whole run (warmup included).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HighWaterBytes is the peak of pooled bytes checked out at once.
+	HighWaterBytes int64 `json:"high_water_bytes"`
+	// HitRate is Hits / (Hits+Misses).
+	HitRate float64 `json:"hit_rate"`
+}
+
 // Run is one benchmark configuration's result.
 type Run struct {
 	Name    string `json:"name"`
@@ -106,11 +122,18 @@ type Run struct {
 	// logical message counted once on the sender and once on the receiver).
 	BytesPerEpoch int64   `json:"bytes_per_epoch"`
 	FinalLoss     float64 `json:"final_loss"`
+	// AllocsPerEpoch / HeapBytesPerEpoch are runtime.MemStats deltas
+	// (Mallocs, TotalAlloc) across the measured epochs divided by the epoch
+	// count — the allocator pressure one training epoch exerts.
+	AllocsPerEpoch    int64 `json:"allocs_per_epoch"`
+	HeapBytesPerEpoch int64 `json:"heap_bytes_per_epoch"`
+	// Pool summarises tensor-pool reuse; nil when the run had pooling off.
+	Pool *PoolSummary `json:"pool,omitempty"`
 	// StageCoverage is Σ stage seconds (excluding checkpoint) divided by
 	// workers × wall — the accounting identity; ~1.0 when attribution is
 	// gap-free.
-	StageCoverage float64        `json:"stage_coverage"`
-	Stages        []StageSummary `json:"stages"`
+	StageCoverage float64          `json:"stage_coverage"`
+	Stages        []StageSummary   `json:"stages"`
 	Residuals     *ResidualSummary `json:"residuals,omitempty"`
 }
 

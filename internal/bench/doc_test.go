@@ -14,8 +14,9 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenDoc is a fixed document exercising every schema field, including the
-// optional residual block and a residual-free run. Host metadata is pinned so
-// the golden bytes are host-independent.
+// optional residual block, the optional pool summary (present on the pooled
+// run, absent on the unpooled one) and a residual-free run. Host metadata is
+// pinned so the golden bytes are host-independent.
 func goldenDoc() *Doc {
 	return &Doc{
 		SchemaVersion: SchemaVersion,
@@ -28,6 +29,9 @@ func goldenDoc() *Doc {
 				Name: "hybrid-w4", Mode: "hybrid", Workers: 4, Epochs: 5,
 				WallMedianSeconds: 0.025, WallMeanSeconds: 0.026,
 				EpochsPerSec: 38.5, BytesPerEpoch: 800000, FinalLoss: 1.9,
+				AllocsPerEpoch: 52000, HeapBytesPerEpoch: 9400000,
+				Pool: &PoolSummary{Hits: 11800, Misses: 600,
+					HighWaterBytes: 2500000, HitRate: 0.9516},
 				StageCoverage: 0.998,
 				Stages: []StageSummary{
 					{Stage: "forward", MedianSeconds: 0.040, MeanSeconds: 0.041},
@@ -39,9 +43,9 @@ func goldenDoc() *Doc {
 					{Stage: "barrier", MedianSeconds: 0.002, MeanSeconds: 0.002},
 				},
 				Residuals: &ResidualSummary{
-					FitMethod: "least_squares",
-					Probed:    FactorSet{Tv: 1e-8, Te: 2e-9, Tc: 5e-9},
-					Fitted:    FactorSet{Tv: 1.1e-8, Te: 2.2e-9, Tc: 6e-9},
+					FitMethod:             "least_squares",
+					Probed:                FactorSet{Tv: 1e-8, Te: 2e-9, Tc: 5e-9},
+					Fitted:                FactorSet{Tv: 1.1e-8, Te: 2.2e-9, Tc: 6e-9},
 					MaxAbsComputeResidual: 0.08, MaxAbsCommResidual: 0.15,
 					FlipsCacheToComm: 3, FlipsCommToCache: 0, Slots: 420,
 				},
@@ -50,6 +54,7 @@ func goldenDoc() *Doc {
 				Name: "depcache-w1", Mode: "depcache", Workers: 1, Epochs: 5,
 				WallMedianSeconds: 0.060, WallMeanSeconds: 0.061,
 				EpochsPerSec: 16.4, BytesPerEpoch: 0, FinalLoss: 1.9,
+				AllocsPerEpoch: 81000, HeapBytesPerEpoch: 14000000,
 				StageCoverage: 1.0,
 				Stages: []StageSummary{
 					{Stage: "forward", MedianSeconds: 0.035, MeanSeconds: 0.035},

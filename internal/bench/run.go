@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"neutronstar/internal/dataset"
 	"neutronstar/internal/engine"
 	"neutronstar/internal/obs"
+	"neutronstar/internal/tensor"
 )
 
 // RunSpec names one benchmark configuration.
@@ -18,6 +20,9 @@ type RunSpec struct {
 	// cache effects would otherwise dominate the medians on small graphs).
 	Warmup int
 	Epochs int
+	// Pool enables the tensor pool for the run; the emitted Run then carries
+	// a PoolSummary alongside the allocator deltas.
+	Pool bool
 }
 
 // BenchSpec is the fixed small workload of the perf-smoke pipeline: an RMAT
@@ -36,14 +41,18 @@ func BenchSpec() dataset.Spec {
 	}
 }
 
-// DefaultRuns covers the three dependency policies: the hybrid plan and the
+// DefaultRuns covers the three dependency policies — the hybrid plan and the
 // all-communicate plan at the requested cluster size (both exercise the
-// fabric), and the all-cache plan on one worker (which must move zero bytes).
+// fabric), and the all-cache plan on one worker (which must move zero bytes) —
+// plus an unpooled hybrid run so the document itself witnesses what the
+// tensor pool saves (compare allocs_per_epoch between hybrid-wN and
+// hybrid-wN-nopool).
 func DefaultRuns(workers int) []RunSpec {
 	return []RunSpec{
-		{Name: fmt.Sprintf("hybrid-w%d", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5},
-		{Name: fmt.Sprintf("depcomm-w%d", workers), Mode: engine.DepComm, Workers: workers, Warmup: 1, Epochs: 5},
-		{Name: "depcache-w1", Mode: engine.DepCache, Workers: 1, Warmup: 1, Epochs: 5},
+		{Name: fmt.Sprintf("hybrid-w%d", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5, Pool: true},
+		{Name: fmt.Sprintf("hybrid-w%d-nopool", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5},
+		{Name: fmt.Sprintf("depcomm-w%d", workers), Mode: engine.DepComm, Workers: workers, Warmup: 1, Epochs: 5, Pool: true},
+		{Name: "depcache-w1", Mode: engine.DepCache, Workers: 1, Warmup: 1, Epochs: 5, Pool: true},
 	}
 }
 
@@ -73,10 +82,16 @@ func Execute(ds *dataset.Dataset, specs []RunSpec) (*Doc, error) {
 }
 
 // ExecuteRun trains one configuration under a flight recorder and summarises
-// the measured epochs.
+// the measured epochs. Allocator pressure (Mallocs / TotalAlloc deltas) is
+// measured across the post-warmup epochs only, with a GC between warmup and
+// measurement so warmup garbage is not attributed to the measured window.
 func ExecuteRun(ds *dataset.Dataset, spec RunSpec) (*Run, error) {
 	if spec.Epochs <= 0 {
 		return nil, fmt.Errorf("epochs = %d", spec.Epochs)
+	}
+	var pool *tensor.Pool
+	if spec.Pool {
+		pool = tensor.NewPool()
 	}
 	rec := obs.NewFlightRecorder()
 	eng, err := engine.NewEngine(ds, engine.Options{
@@ -86,19 +101,37 @@ func ExecuteRun(ds *dataset.Dataset, spec RunSpec) (*Run, error) {
 		LockFree: true,
 		Overlap:  true,
 		Seed:     1,
+		Pool:     pool,
 		Recorder: rec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
-	stats := eng.Train(spec.Warmup + spec.Epochs)
+	stats := eng.Train(spec.Warmup)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	stats = append(stats, eng.Train(spec.Epochs)...)
+	runtime.ReadMemStats(&m1)
 	recs := rec.Snapshot()
 	if len(recs) < spec.Warmup+spec.Epochs {
 		return nil, fmt.Errorf("recorded %d epochs, expected %d", len(recs), spec.Warmup+spec.Epochs)
 	}
 	recs = recs[spec.Warmup:]
-	return summarize(eng, spec, recs, stats[len(stats)-1].Loss), nil
+	run := summarize(eng, spec, recs, stats[len(stats)-1].Loss)
+	run.AllocsPerEpoch = int64(m1.Mallocs-m0.Mallocs) / int64(spec.Epochs)
+	run.HeapBytesPerEpoch = int64(m1.TotalAlloc-m0.TotalAlloc) / int64(spec.Epochs)
+	if pool != nil {
+		ps := pool.Stats()
+		run.Pool = &PoolSummary{
+			Hits:           ps.Hits,
+			Misses:         ps.Misses,
+			HighWaterBytes: ps.HighWaterBytes,
+			HitRate:        ps.HitRate(),
+		}
+	}
+	return run, nil
 }
 
 func summarize(eng *engine.Engine, spec RunSpec, recs []obs.EpochRecord, finalLoss float64) *Run {
@@ -163,9 +196,9 @@ func summarize(eng *engine.Engine, spec RunSpec, recs []obs.EpochRecord, finalLo
 
 	if cr := eng.CostReportFrom(recs); cr != nil {
 		rs := &ResidualSummary{
-			FitMethod: cr.FitMethod,
-			Probed:    FactorSet{Tv: cr.Probed.Tv, Te: cr.Probed.Te, Tc: cr.Probed.Tc},
-			Fitted:    FactorSet{Tv: cr.Fitted.Tv, Te: cr.Fitted.Te, Tc: cr.Fitted.Tc},
+			FitMethod:        cr.FitMethod,
+			Probed:           FactorSet{Tv: cr.Probed.Tv, Te: cr.Probed.Te, Tc: cr.Probed.Tc},
+			Fitted:           FactorSet{Tv: cr.Fitted.Tv, Te: cr.Fitted.Te, Tc: cr.Fitted.Tc},
 			FlipsCacheToComm: cr.Flips.CacheToComm,
 			FlipsCommToCache: cr.Flips.CommToCache,
 			Slots:            cr.Flips.Slots,

@@ -95,23 +95,16 @@ func decodeMessage(r *bufio.Reader) (*Message, error) {
 		return nil, fmt.Errorf("comm: wire dimensions out of range (%d verts, %dx%d)", nv, rows, cols)
 	}
 	if nv > 0 {
-		verts, err := readU32Chunked(r, int(nv))
+		verts, err := readI32Chunked(r, int(nv))
 		if err != nil {
 			return nil, err
 		}
-		msg.Vertices = make([]int32, nv)
-		for i, v := range verts {
-			msg.Vertices[i] = int32(v)
-		}
+		msg.Vertices = verts
 	}
 	if rows*cols > 0 {
-		raw, err := readU32Chunked(r, int(rows)*int(cols))
+		data, err := readF32Chunked(r, int(rows)*int(cols))
 		if err != nil {
 			return nil, err
-		}
-		data := make([]float32, len(raw))
-		for i, v := range raw {
-			data[i] = math.Float32frombits(v)
 		}
 		msg.Rows = tensor.FromSlice(int(rows), int(cols), data)
 	} else if rows > 0 || cols > 0 {
@@ -120,30 +113,57 @@ func decodeMessage(r *bufio.Reader) (*Message, error) {
 	return msg, nil
 }
 
-// readU32Chunked reads n little-endian u32 values in bounded chunks, so a
-// corrupt or hostile length field costs at most one chunk of allocation
-// beyond the bytes actually present in the stream — a 41-byte header
-// claiming 2^28 elements fails at the first short read instead of
-// committing a gigabyte up front.
-func readU32Chunked(r *bufio.Reader, n int) ([]uint32, error) {
-	const chunk = 1 << 14
+// The chunked readers decode n little-endian u32 values straight into their
+// final element type in bounded chunks, so a corrupt or hostile length field
+// costs at most one chunk of allocation beyond the bytes actually present in
+// the stream — a 41-byte header claiming 2^28 elements fails at the first
+// short read instead of committing a gigabyte up front. Decoding in place
+// also avoids the intermediate []uint32 a generic reader would force.
+
+const wireChunk = 1 << 14
+
+func readI32Chunked(r *bufio.Reader, n int) ([]int32, error) {
 	first := n
-	if first > chunk {
-		first = chunk
+	if first > wireChunk {
+		first = wireChunk
 	}
-	out := make([]uint32, 0, first)
-	var buf [4 * chunk]byte
+	out := make([]int32, 0, first)
+	var buf [4 * wireChunk]byte
 	for n > 0 {
 		c := n
-		if c > chunk {
-			c = chunk
+		if c > wireChunk {
+			c = wireChunk
 		}
 		b := buf[:4*c]
 		if _, err := io.ReadFull(r, b); err != nil {
 			return nil, err
 		}
 		for i := 0; i < c; i++ {
-			out = append(out, binary.LittleEndian.Uint32(b[4*i:]))
+			out = append(out, int32(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+		n -= c
+	}
+	return out, nil
+}
+
+func readF32Chunked(r *bufio.Reader, n int) ([]float32, error) {
+	first := n
+	if first > wireChunk {
+		first = wireChunk
+	}
+	out := make([]float32, 0, first)
+	var buf [4 * wireChunk]byte
+	for n > 0 {
+		c := n
+		if c > wireChunk {
+			c = wireChunk
+		}
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
 		}
 		n -= c
 	}

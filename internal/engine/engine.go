@@ -103,6 +103,13 @@ type Options struct {
 	// every epoch (see obs.FlightRecorder). Nil disables all recording paths
 	// at zero cost.
 	Recorder *obs.FlightRecorder
+	// Pool, when non-nil, recycles training-time tensor storage (tape
+	// intermediates, gradients, message payloads) through per-worker arenas
+	// released at each epoch barrier. Nil reproduces the allocate-per-call
+	// behaviour bit-for-bit. Ignored when Fault is set: fault-injected
+	// retransmission goroutines can hold message payloads past the barrier,
+	// which would break the arena's quiescence requirement.
+	Pool *tensor.Pool
 }
 
 // withDefaults fills unset options.
@@ -327,6 +334,12 @@ func (e *Engine) RunEpoch() EpochStats {
 		}(i, ws)
 	}
 	wg.Wait()
+	// Barrier: every worker is quiescent — all tapes, gradients and message
+	// payloads from this epoch are dead — so their arena tensors can go back
+	// to the pool for the next epoch. Nil arenas (pool disabled) no-op.
+	for _, ws := range e.states {
+		ws.arena.Release()
+	}
 	wall := time.Since(start)
 	// Barrier attribution: a worker that finished early idles until the
 	// slowest one crosses the epoch barrier. That idle gap is wall minus its

@@ -19,6 +19,11 @@ type workerState struct {
 	opt   nn.Optimizer
 	mb    *comm.Mailbox
 	rng   *tensor.RNG
+	// arena recycles this worker's training-time tensors (tape intermediates,
+	// gradients, outgoing payloads) through the engine's pool; the engine
+	// releases it at every epoch barrier. Nil when pooling is off or fault
+	// injection is on (retransmissions may outlive the barrier).
+	arena *tensor.Arena
 
 	// feat is the layer-1 input in prev-layout: owned features followed by
 	// cached (replicated) features — the one-time fetch of Algorithm 2
@@ -59,6 +64,9 @@ func newWorkerState(id int, e *Engine, model *nn.Model) *workerState {
 		mb:  e.fabric.Mailbox(id),
 		rng: tensor.NewRNG(e.opts.Seed ^ (uint64(id)+1)*0x9E3779B9),
 	}
+	if e.opts.Fault == nil {
+		ws.arena = e.opts.Pool.Arena()
+	}
 	// Assemble the layer-1 input block: owned features ++ cached features.
 	dim := ds.Spec.FeatureDim
 	cached0 := plan.cachedComputeAt(0)
@@ -77,6 +85,25 @@ func newWorkerState(id int, e *Engine, model *nn.Model) *workerState {
 	}
 	ws.totalLabeled = ds.TrainLabeledCount()
 	return ws
+}
+
+// newTape returns the tape for one layer's forward pass: arena-backed during
+// training (everything on it dies by the epoch barrier), plain-allocating for
+// inference, whose outputs outlive any barrier.
+func (ws *workerState) newTape(training bool) *autograd.Tape {
+	if training && ws.arena != nil {
+		return autograd.NewTapeArena(ws.arena)
+	}
+	return autograd.NewTape()
+}
+
+// alloc returns a zeroed tensor from the worker's arena when it may be
+// recycled at the epoch barrier (training), or a plain allocation otherwise.
+func (ws *workerState) alloc(training bool, rows, cols int) *tensor.Tensor {
+	if training {
+		return ws.arena.Get(rows, cols)
+	}
+	return tensor.New(rows, cols)
 }
 
 // peerOrder returns the peer iteration order for this worker under the
@@ -127,7 +154,7 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 
 	// Seed so that the aggregated gradient equals the gradient of the
 	// global mean loss: d(global mean)/d(local mean) = n / totalLabeled.
-	seed := tensor.New(1, 1)
+	seed := ws.alloc(true, 1, 1)
 	if ws.totalLabeled > 0 {
 		seed.Set(0, 0, float32(n)/float32(ws.totalLabeled))
 	}
@@ -171,7 +198,7 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *metrics.Collector, training bool, sc *obs.StageClock) layerRun {
 	lp := &ws.plan.layers[l-1]
 	layer := ws.model.Layers[l-1]
-	tape := autograd.NewTape()
+	tape := ws.newTape(training)
 	lg := coll.Group(ws.id, "layer", obs.Int("layer", l))
 	defer lg.End()
 	sc.Switch(obs.StageForward, l)
@@ -179,7 +206,7 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 	sendDone := make(chan struct{})
 	send := func() {
 		defer close(sendDone)
-		ws.sendReps(epoch, l, prevVal)
+		ws.sendReps(epoch, l, prevVal, training)
 	}
 	if ws.eng.opts.Overlap {
 		// Background send must never touch sc: the clock is single-goroutine.
@@ -234,7 +261,7 @@ func (ws *workerState) forwardLayer(epoch, l int, prevVal *tensor.Tensor, coll *
 		sp := coll.Span(ws.id, metrics.Comm, "gather_dep_nbr",
 			obs.Int("layer", l), obs.Int("rows", numRecv))
 		recvBytes := 0
-		recvVal := tensor.New(numRecv, layer.InDim())
+		recvVal := ws.alloc(training, numRecv, layer.InDim())
 		for _, j := range ws.peerOrder() {
 			verts := lp.recv[j]
 			if len(verts) == 0 {
@@ -382,7 +409,7 @@ func (ws *workerState) forwardLayerChunked(epoch, l int, prevVal *tensor.Tensor,
 		}
 	}
 	if agg == nil {
-		agg = tape.Constant(tensor.New(numDst, layer.InDim()), "agg_zero")
+		agg = tape.Constant(ws.alloc(training, numDst, layer.InDim()), "agg_zero")
 	}
 	self := tape.Gather(hPrev, lp.owned.selfRow)
 	outOwned := sd.VertexStage(tape, agg, self, lp.owned.selfNorm, training, ws.rng)
@@ -415,8 +442,14 @@ func (ws *workerState) runBlock(tape *autograd.Tape, layer nn.Layer, b *blockPla
 
 // sendReps packs and sends this worker's master rows needed by each peer at
 // layer l. prevVal rows 0..len(owned) are the owned vertices in ascending
-// order, so row lookup is the position in the owned list.
-func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor) {
+// order, so row lookup is the position in the owned list. Training sends draw
+// payload buffers from the arena (the receiver is done with them by the epoch
+// barrier); inference payloads must outlive barriers and allocate plainly.
+func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor, training bool) {
+	var arena *tensor.Arena
+	if training {
+		arena = ws.arena
+	}
 	lp := &ws.plan.layers[l-1]
 	coll := ws.eng.opts.Collector
 	ownedPos := ws.plan.prevIndex[l-1] // owned rows come first in every layout
@@ -441,11 +474,12 @@ func (ws *workerState) sendReps(epoch, l int, prevVal *tensor.Tensor) {
 			sp.End()
 			continue
 		}
-		buf := comm.NewEnqueuer(ws.eng.opts.LockFree, verts, prevVal.Cols())
+		buf := comm.NewEnqueuerArena(ws.eng.opts.LockFree, verts, prevVal.Cols(), arena)
 		tensor.ParallelRows(len(verts), func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				v := verts[k]
-				buf.WriteRow(v, prevVal.Row(int(ownedPos[v])))
+				// verts is the buffer's own vertex list, so position k IS the
+				// destination row: skip the per-vertex position lookup.
+				buf.WriteRowAt(k, prevVal.Row(int(ownedPos[verts[k]])))
 			}
 		})
 		rows, ids := buf.Finish()
@@ -494,7 +528,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.Stag
 		upper := &runs[l]
 		seed := upper.hPrev.Grad
 		if seed == nil {
-			seed = tensor.New(run.out.Value.Rows(), run.out.Value.Cols())
+			seed = ws.alloc(true, run.out.Value.Rows(), run.out.Value.Cols())
 		}
 		// Mirror gradients for my masters sent at layer l+1 arrive from
 		// every peer I sent rows to.
@@ -513,7 +547,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.Stag
 			verts := lp.recv[cl.peer]
 			grad := cl.v.Grad
 			if grad == nil {
-				grad = tensor.New(cl.v.Value.Rows(), cl.v.Value.Cols())
+				grad = ws.alloc(true, cl.v.Value.Rows(), cl.v.Value.Cols())
 			}
 			ws.eng.fabric.Send(&comm.Message{
 				From: ws.id, To: cl.peer, Kind: comm.KindGrad,
@@ -528,7 +562,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.Stag
 	if run.hRecv != nil && l > 1 {
 		grad := run.hRecv.Grad
 		if grad == nil {
-			grad = tensor.New(run.hRecv.Value.Rows(), run.hRecv.Value.Cols())
+			grad = ws.alloc(true, run.hRecv.Value.Rows(), run.hRecv.Value.Cols())
 		}
 		sc.Switch(obs.StageMirrorScatter, l)
 		sp := coll.Span(ws.id, metrics.Comm, "post_to_dep_nbr", obs.Int("layer", l))
@@ -542,7 +576,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.Stag
 				// ROC-style: a full-width gradient block aligned with the
 				// master's owned list, zero-padded.
 				ownerOwned := ws.eng.plans[j].owned
-				block := tensor.New(len(ownerOwned), grad.Cols())
+				block := ws.alloc(true, len(ownerOwned), grad.Cols())
 				for r, v := range verts {
 					pos := searchVertex(ownerOwned, v)
 					copy(block.Row(pos), grad.Row(base+r))
@@ -553,7 +587,7 @@ func (ws *workerState) backwardLayer(epoch, l int, runs []layerRun, sc *obs.Stag
 				})
 				continue
 			}
-			rows := grad.RowSlice(base, base+len(verts)).Clone()
+			rows := ws.arena.GetCopy(grad.RowSlice(base, base+len(verts)))
 			ws.eng.fabric.Send(&comm.Message{
 				From: ws.id, To: j, Kind: comm.KindGrad,
 				Epoch: epoch, Layer: l, Vertices: verts, Rows: rows,

@@ -53,11 +53,11 @@ func (l *GCNLayer) Forward(ctx *ForwardCtx) *autograd.Variable {
 	}
 	combined := t.Add(agg, self)
 	combined = t.Dropout(combined, l.dropout, ctx.RNG, ctx.Training)
-	z := t.AddBias(t.MatMul(combined, l.w.Bind(t)), l.b.Bind(t))
+	wz := t.MatMul(combined, l.w.Bind(t))
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(wz, l.b.Bind(t))
 	}
-	return z
+	return t.AddBias(wz, l.b.Bind(t))
 }
 
 // GINLayer implements the Graph Isomorphism Network layer:
@@ -98,12 +98,12 @@ func (l *GINLayer) Forward(ctx *ForwardCtx) *autograd.Variable {
 	agg := t.ScatterAddRows(ctx.EdgeSrc, ctx.EdgeDst, ctx.NumDst())
 	combined := t.Add(agg, t.Scale(ctx.Self, 1+l.epsilon))
 	combined = t.Dropout(combined, l.dropout, ctx.RNG, ctx.Training)
-	h := t.ReLU(t.AddBias(t.MatMul(combined, l.w1.Bind(t)), l.b1.Bind(t)))
-	z := t.AddBias(t.MatMul(h, l.w2.Bind(t)), l.b2.Bind(t))
+	h := t.AddBiasReLU(t.MatMul(combined, l.w1.Bind(t)), l.b1.Bind(t))
+	wz := t.MatMul(h, l.w2.Bind(t))
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(wz, l.b2.Bind(t))
 	}
-	return z
+	return t.AddBias(wz, l.b2.Bind(t))
 }
 
 // GATLayer implements single-head graph attention:
@@ -164,11 +164,11 @@ func (l *GATLayer) Forward(ctx *ForwardCtx) *autograd.Variable {
 	// Self residual: destinations keep their own transformed representation
 	// (GAT's residual connection); vertices with no in-edges degrade to a
 	// plain dense layer instead of losing their signal entirely.
-	z := t.AddBias(t.Add(agg, ctx.Self), l.b.Bind(t))
+	pre := t.Add(agg, ctx.Self)
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(pre, l.b.Bind(t))
 	}
-	return z
+	return t.AddBias(pre, l.b.Bind(t))
 }
 
 // SAGELayer implements a GraphSAGE-style layer with max-pooling
@@ -213,11 +213,10 @@ func (l *SAGELayer) Forward(ctx *ForwardCtx) *autograd.Variable {
 	pooled := t.ScatterMaxRows(msgs, ctx.EdgeDst, ctx.NumDst())
 	self := t.Dropout(ctx.Self, l.dropout, ctx.RNG, ctx.Training)
 	z := t.Add(t.MatMul(self, l.wSelf.Bind(t)), t.MatMul(pooled, l.wNbr.Bind(t)))
-	z = t.AddBias(z, l.b.Bind(t))
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(z, l.b.Bind(t))
 	}
-	return z
+	return t.AddBias(z, l.b.Bind(t))
 }
 
 // MultiHeadGATLayer runs H independent attention heads and concatenates

@@ -182,11 +182,11 @@ func (l *GCNLayer) VertexStage(t *autograd.Tape, agg, self *autograd.Variable,
 	}
 	combined := t.Add(agg, self)
 	combined = t.Dropout(combined, l.dropout, rng, training)
-	z := t.AddBias(t.MatMul(combined, l.w.Bind(t)), l.b.Bind(t))
+	wz := t.MatMul(combined, l.w.Bind(t))
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(wz, l.b.Bind(t))
 	}
-	return z
+	return t.AddBias(wz, l.b.Bind(t))
 }
 
 // EdgeStage implements SumDecomposable for GIN: raw sum.
@@ -200,10 +200,10 @@ func (l *GINLayer) VertexStage(t *autograd.Tape, agg, self *autograd.Variable,
 	selfNorm []float32, training bool, rng *tensor.RNG) *autograd.Variable {
 	combined := t.Add(agg, t.Scale(self, 1+l.epsilon))
 	combined = t.Dropout(combined, l.dropout, rng, training)
-	h := t.ReLU(t.AddBias(t.MatMul(combined, l.w1.Bind(t)), l.b1.Bind(t)))
-	z := t.AddBias(t.MatMul(h, l.w2.Bind(t)), l.b2.Bind(t))
+	h := t.AddBiasReLU(t.MatMul(combined, l.w1.Bind(t)), l.b1.Bind(t))
+	wz := t.MatMul(h, l.w2.Bind(t))
 	if l.act {
-		return t.ReLU(z)
+		return t.AddBiasReLU(wz, l.b2.Bind(t))
 	}
-	return z
+	return t.AddBias(wz, l.b2.Bind(t))
 }

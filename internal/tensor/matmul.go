@@ -5,11 +5,35 @@ import (
 	"runtime"
 	"sync"
 	"time"
+	"unsafe"
 )
 
 // gemmParallelThreshold is the minimum number of multiply-adds before GEMM
 // fans out across goroutines; below it the scheduling overhead dominates.
 const gemmParallelThreshold = 1 << 16
+
+// sharesStorage reports whether the backing arrays of a and b overlap.
+// Empty tensors never overlap anything.
+func sharesStorage(a, b *Tensor) bool {
+	if len(a.data) == 0 || len(b.data) == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(unsafe.SliceData(a.data)))
+	aHi := aLo + uintptr(len(a.data))*unsafe.Sizeof(float32(0))
+	bLo := uintptr(unsafe.Pointer(unsafe.SliceData(b.data)))
+	bHi := bLo + uintptr(len(b.data))*unsafe.Sizeof(float32(0))
+	return aLo < bHi && bLo < aHi
+}
+
+// mustNotAlias panics when dst shares storage with a or b. GEMM kernels read
+// operand rows while writing destination rows, so an aliased destination
+// silently corrupts the product; the panic turns that corruption into an
+// immediate, attributable failure.
+func mustNotAlias(op string, dst, a, b *Tensor) {
+	if sharesStorage(dst, a) || sharesStorage(dst, b) {
+		panic(fmt.Sprintf("tensor: %s destination aliases an operand; results would be corrupted", op))
+	}
+}
 
 // MatMul returns a @ b.
 func MatMul(a, b *Tensor) *Tensor {
@@ -22,12 +46,13 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a @ b. dst must have shape a.rows x b.cols and
-// must not alias a or b.
+// must not alias a or b (overlapping storage panics).
 func MatMulInto(dst, a, b *Tensor) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulInto %dx%d = %dx%d @ %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
+	mustNotAlias("MatMulInto", dst, a, b)
 	start := time.Now()
 	dst.Zero()
 	work := a.rows * a.cols * b.cols
@@ -39,14 +64,49 @@ func MatMulInto(dst, a, b *Tensor) {
 	obsMatMulNN.Observe(time.Since(start).Seconds())
 }
 
-// gemmRows computes rows [lo,hi) of dst = a @ b using an ikj loop order so the
-// inner loop streams over contiguous rows of b and dst.
+// gemmRows computes rows [lo,hi) of dst = a @ b using an ikj loop order (the
+// inner loop streams over contiguous rows of b and dst) with register
+// blocking: k advances in panels of 4, and within a panel the j loop is
+// 4x-unrolled so eight b-rows/dst values live in registers per iteration.
+//
+// Float addition is not associative, so blocking must preserve the exact
+// per-element accumulation order of the scalar kernel — dst[i][j] receives
+// its k-terms in ascending k, one add at a time — or results drift between
+// builds. The fused update d + t0 + t1 + t2 + t3 evaluates left-to-right
+// (Go spec), which is that same order; and the zero-skip fast path is kept
+// exactly by taking the panel only when all four a-values are non-zero,
+// falling back to the skipping scalar loop otherwise (0*Inf and signed-zero
+// semantics are therefore untouched).
 func gemmRows(dst, a, b *Tensor, lo, hi int) {
 	n := b.cols
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		dr := dst.Row(i)
-		for k, av := range ar {
+		k := 0
+		for ; k+4 <= len(ar); k += 4 {
+			a0, a1, a2, a3 := ar[k], ar[k+1], ar[k+2], ar[k+3]
+			if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+				gemmScalarPanel(dr, ar[k:k+4], b, k)
+				continue
+			}
+			b0 := b.data[k*n : k*n+n]
+			b1 := b.data[(k+1)*n : (k+1)*n+n]
+			b2 := b.data[(k+2)*n : (k+2)*n+n]
+			b3 := b.data[(k+3)*n : (k+3)*n+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				d0 := dr[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				d1 := dr[j+1] + a0*b0[j+1] + a1*b1[j+1] + a2*b2[j+1] + a3*b3[j+1]
+				d2 := dr[j+2] + a0*b0[j+2] + a1*b1[j+2] + a2*b2[j+2] + a3*b3[j+2]
+				d3 := dr[j+3] + a0*b0[j+3] + a1*b1[j+3] + a2*b2[j+3] + a3*b3[j+3]
+				dr[j], dr[j+1], dr[j+2], dr[j+3] = d0, d1, d2, d3
+			}
+			for ; j < n; j++ {
+				dr[j] = dr[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < len(ar); k++ {
+			av := ar[k]
 			if av == 0 {
 				continue
 			}
@@ -58,14 +118,39 @@ func gemmRows(dst, a, b *Tensor, lo, hi int) {
 	}
 }
 
+// gemmScalarPanel applies one k-panel with the original zero-skipping scalar
+// kernel; used when the panel contains a zero a-value.
+func gemmScalarPanel(dr, ap []float32, b *Tensor, k0 int) {
+	n := b.cols
+	for kk, av := range ap {
+		if av == 0 {
+			continue
+		}
+		br := b.data[(k0+kk)*n : (k0+kk)*n+n]
+		for j, bv := range br {
+			dr[j] += av * bv
+		}
+	}
+}
+
 // MatMulTA returns aᵀ @ b, computed without materialising aᵀ.
 // a is KxM, b is KxN, result is MxN. This is the shape of weight gradients.
 func MatMulTA(a, b *Tensor) *Tensor {
-	if a.rows != b.rows {
-		panic(fmt.Sprintf("tensor: MatMulTA %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
-	start := time.Now()
 	out := New(a.cols, b.cols)
+	MatMulTAInto(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes dst = aᵀ @ b without materialising aᵀ. dst must have
+// shape a.cols x b.cols and must not alias a or b.
+func MatMulTAInto(dst, a, b *Tensor) {
+	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulTAInto %dx%d = (%dx%d)ᵀ @ %dx%d",
+			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustNotAlias("MatMulTAInto", dst, a, b)
+	start := time.Now()
+	dst.Zero()
 	m, n := a.cols, b.cols
 	if a.rows*m*n < gemmParallelThreshold || m < 2 {
 		for k := 0; k < a.rows; k++ {
@@ -74,14 +159,14 @@ func MatMulTA(a, b *Tensor) *Tensor {
 				if av == 0 {
 					continue
 				}
-				dr := out.data[i*n : i*n+n]
+				dr := dst.data[i*n : i*n+n]
 				for j, bv := range br {
 					dr[j] += av * bv
 				}
 			}
 		}
 		obsMatMulTA.Observe(time.Since(start).Seconds())
-		return out
+		return
 	}
 	// Parallelise over output rows (columns of a) so goroutines never write
 	// the same destination row.
@@ -93,7 +178,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 				if av == 0 {
 					continue
 				}
-				dr := out.data[i*n : i*n+n]
+				dr := dst.data[i*n : i*n+n]
 				for j, bv := range br {
 					dr[j] += av * bv
 				}
@@ -101,31 +186,54 @@ func MatMulTA(a, b *Tensor) *Tensor {
 		}
 	})
 	obsMatMulTA.Observe(time.Since(start).Seconds())
-	return out
 }
 
 // MatMulTB returns a @ bᵀ, computed without materialising bᵀ.
 // a is MxK, b is NxK, result is MxN. This is the shape of input gradients.
 func MatMulTB(a, b *Tensor) *Tensor {
-	if a.cols != b.cols {
-		panic(fmt.Sprintf("tensor: MatMulTB %dx%d, %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
-	start := time.Now()
 	out := New(a.rows, b.rows)
-	if a.rows*a.cols*b.rows < gemmParallelThreshold || a.rows < 2 {
-		matMulTBRows(out, a, b, 0, a.rows)
-	} else {
-		parallelRows(a.rows, func(lo, hi int) { matMulTBRows(out, a, b, lo, hi) })
-	}
-	obsMatMulTB.Observe(time.Since(start).Seconds())
+	MatMulTBInto(out, a, b)
 	return out
 }
 
+// MatMulTBInto computes dst = a @ bᵀ without materialising bᵀ. dst must have
+// shape a.rows x b.rows and must not alias a or b.
+func MatMulTBInto(dst, a, b *Tensor) {
+	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulTBInto %dx%d = %dx%d @ (%dx%d)ᵀ",
+			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustNotAlias("MatMulTBInto", dst, a, b)
+	start := time.Now()
+	if a.rows*a.cols*b.rows < gemmParallelThreshold || a.rows < 2 {
+		matMulTBRows(dst, a, b, 0, a.rows)
+	} else {
+		parallelRows(a.rows, func(lo, hi int) { matMulTBRows(dst, a, b, lo, hi) })
+	}
+	obsMatMulTB.Observe(time.Since(start).Seconds())
+}
+
+// matMulTBRows is a dot-product kernel with the output column loop unrolled
+// 4x: four independent accumulators share one streaming read of a's row.
+// Each accumulator still sums its k-terms in ascending k, so per-element
+// results are bit-identical to the scalar kernel.
 func matMulTBRows(dst, a, b *Tensor, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		dr := dst.Row(i)
-		for j := 0; j < b.rows; j++ {
+		j := 0
+		for ; j+4 <= b.rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k, av := range ar {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			dr[j], dr[j+1], dr[j+2], dr[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.rows; j++ {
 			br := b.Row(j)
 			var s float32
 			for k, av := range ar {

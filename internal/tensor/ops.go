@@ -53,10 +53,16 @@ func MulInto(dst, a, b *Tensor) {
 // Scale returns t scaled by s.
 func Scale(t *Tensor, s float32) *Tensor {
 	out := New(t.rows, t.cols)
-	for i, v := range t.data {
-		out.data[i] = v * s
-	}
+	ScaleInto(out, t, s)
 	return out
+}
+
+// ScaleInto stores t*s element-wise into dst; dst may alias t.
+func ScaleInto(dst, t *Tensor, s float32) {
+	dst.mustSameShape(t, "Scale")
+	for i, v := range t.data {
+		dst.data[i] = v * s
+	}
 }
 
 // ScaleInPlace multiplies every element of t by s.
@@ -91,13 +97,23 @@ func AddRowVector(t *Tensor, v *Tensor) {
 // row-vector add).
 func SumRows(t *Tensor) *Tensor {
 	out := New(1, t.cols)
+	SumRowsInto(out, t)
+	return out
+}
+
+// SumRowsInto stores the 1xC column-wise sum of t into dst, which must have
+// shape 1 x t.Cols() and must not alias t.
+func SumRowsInto(dst, t *Tensor) {
+	if dst.rows != 1 || dst.cols != t.cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto %dx%d from %dx%d", dst.rows, dst.cols, t.rows, t.cols))
+	}
+	dst.Zero()
 	for i := 0; i < t.rows; i++ {
 		row := t.Row(i)
 		for j, v := range row {
-			out.data[j] += v
+			dst.data[j] += v
 		}
 	}
-	return out
 }
 
 // Sum returns the sum of all elements (accumulated in float64 for accuracy).
@@ -137,52 +153,111 @@ func ArgMaxRows(t *Tensor) []int {
 // ReLU returns max(0, t) element-wise.
 func ReLU(t *Tensor) *Tensor {
 	out := New(t.rows, t.cols)
+	ReLUInto(out, t)
+	return out
+}
+
+// ReLUInto stores max(0, t) into dst; dst may alias t.
+func ReLUInto(dst, t *Tensor) {
+	dst.mustSameShape(t, "ReLU")
 	for i, v := range t.data {
 		if v > 0 {
-			out.data[i] = v
+			dst.data[i] = v
+		} else {
+			dst.data[i] = 0
 		}
 	}
-	return out
 }
 
 // ReLUBackward returns grad masked by the forward input's sign:
 // out[i] = grad[i] if input[i] > 0 else 0.
 func ReLUBackward(grad, input *Tensor) *Tensor {
-	grad.mustSameShape(input, "ReLUBackward")
 	out := New(grad.rows, grad.cols)
+	ReLUBackwardInto(out, grad, input)
+	return out
+}
+
+// ReLUBackwardInto stores the masked gradient into dst; dst may alias grad.
+func ReLUBackwardInto(dst, grad, input *Tensor) {
+	grad.mustSameShape(input, "ReLUBackward")
+	dst.mustSameShape(grad, "ReLUBackward")
 	for i, v := range input.data {
 		if v > 0 {
-			out.data[i] = grad.data[i]
+			dst.data[i] = grad.data[i]
+		} else {
+			dst.data[i] = 0
 		}
 	}
+}
+
+// AddBiasReLU returns max(0, t + bias) where the 1xC row vector bias is
+// broadcast over every row — the fused forward of the dense-layer tail,
+// saving the whole-tensor pre-activation temporary.
+func AddBiasReLU(t, bias *Tensor) *Tensor {
+	out := New(t.rows, t.cols)
+	AddBiasReLUInto(out, t, bias)
 	return out
+}
+
+// AddBiasReLUInto stores max(0, t + bias) into dst; dst may alias t.
+// Bit-compatible with AddRowVector followed by ReLU: the add happens first,
+// then the max, per element.
+func AddBiasReLUInto(dst, t, bias *Tensor) {
+	if bias.rows != 1 || bias.cols != t.cols {
+		panic(fmt.Sprintf("tensor: AddBiasReLU %dx%d bias for %dx%d", bias.rows, bias.cols, t.rows, t.cols))
+	}
+	dst.mustSameShape(t, "AddBiasReLU")
+	for i := 0; i < t.rows; i++ {
+		src, out := t.Row(i), dst.Row(i)
+		for j, b := range bias.data {
+			z := src[j] + b
+			if z > 0 {
+				out[j] = z
+			} else {
+				out[j] = 0
+			}
+		}
+	}
 }
 
 // LeakyReLU returns t with negative entries scaled by slope.
 func LeakyReLU(t *Tensor, slope float32) *Tensor {
 	out := New(t.rows, t.cols)
+	LeakyReLUInto(out, t, slope)
+	return out
+}
+
+// LeakyReLUInto stores the leaky rectification of t into dst; dst may alias t.
+func LeakyReLUInto(dst, t *Tensor, slope float32) {
+	dst.mustSameShape(t, "LeakyReLU")
 	for i, v := range t.data {
 		if v > 0 {
-			out.data[i] = v
+			dst.data[i] = v
 		} else {
-			out.data[i] = v * slope
+			dst.data[i] = v * slope
 		}
 	}
-	return out
 }
 
 // LeakyReLUBackward masks grad by the forward input, scaling negatives by slope.
 func LeakyReLUBackward(grad, input *Tensor, slope float32) *Tensor {
-	grad.mustSameShape(input, "LeakyReLUBackward")
 	out := New(grad.rows, grad.cols)
+	LeakyReLUBackwardInto(out, grad, input, slope)
+	return out
+}
+
+// LeakyReLUBackwardInto stores the slope-masked gradient into dst; dst may
+// alias grad.
+func LeakyReLUBackwardInto(dst, grad, input *Tensor, slope float32) {
+	grad.mustSameShape(input, "LeakyReLUBackward")
+	dst.mustSameShape(grad, "LeakyReLUBackward")
 	for i, v := range input.data {
 		if v > 0 {
-			out.data[i] = grad.data[i]
+			dst.data[i] = grad.data[i]
 		} else {
-			out.data[i] = grad.data[i] * slope
+			dst.data[i] = grad.data[i] * slope
 		}
 	}
-	return out
 }
 
 // Exp returns e^t element-wise.
@@ -225,6 +300,15 @@ func softmaxRow(dst, src []float32) {
 // LogSoftmaxRows applies a numerically stable log-softmax to each row.
 func LogSoftmaxRows(t *Tensor) *Tensor {
 	out := New(t.rows, t.cols)
+	LogSoftmaxRowsInto(out, t)
+	return out
+}
+
+// LogSoftmaxRowsInto stores the row-wise log-softmax of t into dst; dst may
+// alias t.
+func LogSoftmaxRowsInto(dst, t *Tensor) {
+	dst.mustSameShape(t, "LogSoftmaxRows")
+	out := dst
 	for i := 0; i < t.rows; i++ {
 		src, dst := t.Row(i), out.Row(i)
 		maxV := float32(math.Inf(-1))
@@ -242,7 +326,6 @@ func LogSoftmaxRows(t *Tensor) *Tensor {
 			dst[j] = v - lse
 		}
 	}
-	return out
 }
 
 // Dropout zeroes elements of t with probability p using rng, scaling the
@@ -251,10 +334,20 @@ func LogSoftmaxRows(t *Tensor) *Tensor {
 func Dropout(t *Tensor, p float32, rng *RNG) (out, mask *Tensor) {
 	out = New(t.rows, t.cols)
 	mask = New(t.rows, t.cols)
+	DropoutInto(out, mask, t, p, rng)
+	return out, mask
+}
+
+// DropoutInto applies inverted dropout into preallocated, zeroed out and mask
+// tensors (the destinations a pooled allocator hands back). Neither may alias
+// t. The RNG consumption order is identical to Dropout.
+func DropoutInto(out, mask, t *Tensor, p float32, rng *RNG) {
+	out.mustSameShape(t, "Dropout")
+	mask.mustSameShape(t, "Dropout")
 	if p <= 0 {
 		out.CopyFrom(t)
 		mask.Fill(1)
-		return out, mask
+		return
 	}
 	scale := 1 / (1 - p)
 	for i, v := range t.data {
@@ -263,5 +356,4 @@ func Dropout(t *Tensor, p float32, rng *RNG) (out, mask *Tensor) {
 			out.data[i] = v * scale
 		}
 	}
-	return out, mask
 }

@@ -20,6 +20,10 @@ import (
 type Tensor struct {
 	rows, cols int
 	data       []float32
+	// pooled tracks Pool membership so Put can detect use-after-free
+	// (see pool.go): poolNone for ordinary tensors, poolLive while checked
+	// out, poolFree while parked inside a bucket.
+	pooled uint8
 }
 
 // New returns a zero-initialised tensor with the given shape.

@@ -144,6 +144,14 @@ type Config struct {
 	// faulted run converges to the same losses as a clean one. Empty
 	// disables injection.
 	FaultSpec string
+	// Pool recycles training-time tensor storage (tape intermediates,
+	// gradients, message payloads) through a size-bucketed allocator whose
+	// arenas drain back at every epoch barrier, cutting per-epoch heap
+	// allocations sharply. Results are bit-identical either way: pooled
+	// buffers are zeroed on checkout, so disabling the pool reproduces the
+	// exact same training trajectory. Ignored under FaultSpec (retransmission
+	// goroutines may hold payloads past the barrier).
+	Pool bool
 }
 
 // LRSchedule selects a learning-rate decay policy. The zero value keeps a
@@ -407,6 +415,10 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 			return engine.Options{}, nil, err
 		}
 	}
+	var pool *tensor.Pool
+	if cfg.Pool {
+		pool = tensor.NewPool()
+	}
 	return engine.Options{
 		Workers:     cfg.Workers,
 		Mode:        mode,
@@ -427,6 +439,7 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 		MemBudget:   cfg.MemBudgetBytes,
 		Collector:   coll,
 		Fault:       fault,
+		Pool:        pool,
 	}, coll, nil
 }
 
