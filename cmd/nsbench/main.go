@@ -10,12 +10,16 @@
 //
 // With -json the paper experiments are skipped and the fixed perf-smoke
 // pipeline runs instead, writing a schema-versioned BENCH.json document
-// (per-stage medians, traffic, cost-model residuals) for tools/benchdiff:
+// (per-stage medians, traffic, cost-model residuals, straggler indices and
+// per-run critical paths) for tools/benchdiff. Alongside it, -critpath
+// writes the critical-path report as standalone JSON and -trace a Chrome
+// trace of the bench engines with cross-worker flow arrows:
 //
-//	nsbench -json BENCH.json -workers 4
+//	nsbench -json BENCH.json -workers 4 -trace trace.json -critpath critpath.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,12 +42,17 @@ func main() {
 		graphs    = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
 		quick     = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
 		jsonOut   = flag.String("json", "", "write the perf-smoke BENCH.json document to this path and exit (ignores -exp)")
-		trace     = flag.String("trace", "", "write a Chrome trace of all experiment engines to this file")
+		trace     = flag.String("trace", "", "write a Chrome trace of all experiment (or, with -json, bench) engines to this file")
+		critPath  = flag.String("critpath", "", "with -json, also write the per-run critical-path report to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
+	if *critPath != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "nsbench: -critpath requires -json (the report is produced by the perf-smoke pipeline)")
+		os.Exit(2)
+	}
 	if *jsonOut != "" {
-		if err := writeBenchDoc(*jsonOut, *workers); err != nil {
+		if err := writeBenchDoc(*jsonOut, *workers, *trace, *critPath); err != nil {
 			fmt.Fprintln(os.Stderr, "nsbench:", err)
 			os.Exit(1)
 		}
@@ -76,9 +85,11 @@ func main() {
 	var current atomic.Value
 	current.Store("")
 	if *debugAddr != "" {
-		srv, err := obs.NewServer(*debugAddr, obs.Default(), func() any {
-			return map[string]any{"experiment": current.Load()}
-		}, nil)
+		srv, err := obs.NewServer(*debugAddr, obs.Default(), obs.Endpoints{
+			Status: func() any {
+				return map[string]any{"experiment": current.Load()}
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -133,12 +144,22 @@ func main() {
 // writeBenchDoc runs the fixed perf-smoke pipeline and writes BENCH.json.
 // The workload and run set are pinned (see internal/bench) so documents from
 // different commits are comparable; only the cluster size is adjustable.
-func writeBenchDoc(path string, workers int) error {
+// tracePath and critPathOut, when non-empty, additionally emit a Chrome
+// trace of the bench engines and a standalone critical-path report.
+func writeBenchDoc(path string, workers int, tracePath, critPathOut string) error {
 	if workers <= 0 {
 		workers = 4
 	}
 	ds := dataset.Load(bench.BenchSpec())
-	doc, err := bench.Execute(ds, bench.DefaultRuns(workers))
+	specs := bench.DefaultRuns(workers)
+	var coll *metrics.Collector
+	if tracePath != "" {
+		coll = metrics.NewCollector()
+		for i := range specs {
+			specs[i].Collector = coll
+		}
+	}
+	doc, err := bench.Execute(ds, specs)
 	if err != nil {
 		return err
 	}
@@ -149,11 +170,75 @@ func writeBenchDoc(path string, workers int) error {
 		return err
 	}
 	for _, r := range doc.Runs {
-		fmt.Printf("%-14s wall_median=%.4fs epochs/s=%.2f bytes/epoch=%d coverage=%.3f\n",
+		line := fmt.Sprintf("%-14s wall_median=%.4fs epochs/s=%.2f bytes/epoch=%d coverage=%.3f",
 			r.Name, r.WallMedianSeconds, r.EpochsPerSec, r.BytesPerEpoch, r.StageCoverage)
+		if r.Workers > 1 {
+			line += fmt.Sprintf(" straggler=%.2f", r.StragglerIndex)
+		}
+		if p := r.CritPath; p != nil {
+			if label, share := p.Dominant(); label != "" {
+				line += fmt.Sprintf(" critpath=%s@%.0f%%", label, 100*share)
+			}
+		}
+		fmt.Println(line)
 	}
 	fmt.Printf("bench document written to %s\n", path)
+	if coll != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := coll.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
+	}
+	if critPathOut != "" {
+		if err := writeCritPathReport(critPathOut, doc); err != nil {
+			return err
+		}
+		fmt.Printf("critical-path report written to %s\n", critPathOut)
+	}
 	return nil
+}
+
+// writeCritPathReport distils the document's causal fields into a standalone
+// JSON report: per run, the straggler indices, the critical path, and its
+// label breakdown — the artifact CI uploads next to the Chrome trace.
+func writeCritPathReport(path string, doc *bench.Doc) error {
+	type entry struct {
+		Run            string             `json:"run"`
+		Workers        int                `json:"workers"`
+		WallMedian     float64            `json:"wall_median_seconds"`
+		StragglerIndex float64            `json:"straggler_index"`
+		BarrierShare   float64            `json:"barrier_share"`
+		Dominant       string             `json:"dominant,omitempty"`
+		DominantShare  float64            `json:"dominant_share,omitempty"`
+		Breakdown      map[string]float64 `json:"breakdown,omitempty"`
+		CritPath       *obs.CritPath      `json:"crit_path,omitempty"`
+	}
+	report := make([]entry, 0, len(doc.Runs))
+	for _, r := range doc.Runs {
+		e := entry{
+			Run: r.Name, Workers: r.Workers, WallMedian: r.WallMedianSeconds,
+			StragglerIndex: r.StragglerIndex, BarrierShare: r.BarrierShare,
+			CritPath: r.CritPath,
+		}
+		if p := r.CritPath; p != nil {
+			e.Breakdown = p.Breakdown()
+			e.Dominant, e.DominantShare = p.Dominant()
+		}
+		report = append(report, e)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runExperiment(name string, sc experiments.Scale, quick bool) {

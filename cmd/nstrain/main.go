@@ -23,6 +23,15 @@
 //
 //	nstrain -dataset reddit -epochs 100 -debug-addr :8080 &
 //	curl localhost:8080/metrics
+//
+// With -critpath every message carries a causal trace context and each epoch
+// closes with a critical-path extraction; the run ends with a "why was this
+// epoch slow" report, /critpath serves the per-epoch paths, and the Chrome
+// trace (-trace) gains cross-worker message arrows. With -watch-rules an
+// anomaly watchdog evaluates threshold rules over the epoch stream and
+// serves its verdict on /healthwatch:
+//
+//	nstrain -dataset reddit -epochs 30 -critpath -watch-rules 'regress=1.5,straggler=3.0'
 package main
 
 import (
@@ -53,13 +62,22 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
 		faultSpec = flag.String("fault-spec", "", "network fault injection, e.g. 'drop=0.05,jitter=1ms,seed=7'")
 		trace     = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
+		critPath  = flag.Bool("critpath", false, "record causal traces and report each epoch's critical path and stragglers")
+		watchSpec = flag.String("watch-rules", "", "anomaly watchdog rules, e.g. 'stall=30s,regress=1.5,straggler=3.0' or 'default'")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /epochs, /critpath, /healthwatch, /healthz and pprof on this address (e.g. :8080)")
 		logJSON   = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	if err := validateFlags(*dsName, *workers, *epochs, *layers, *ckptDir, *ckptEvery, *resume); err != nil {
 		fmt.Fprintf(os.Stderr, "nstrain: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Malformed watch rules are a usage error: reject them before building
+	// the cluster, with the parser's explanation of what a valid spec is.
+	if _, err := obs.ParseWatchRules(*watchSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "nstrain: -watch-rules: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,9 +106,11 @@ func main() {
 		Pool:      *pool,
 		LR:        *lr,
 		Seed:      *seed,
-		CkptDir:   *ckptDir,
-		CkptEvery: *ckptEvery,
-		FaultSpec: *faultSpec,
+		CkptDir:    *ckptDir,
+		CkptEvery:  *ckptEvery,
+		FaultSpec:  *faultSpec,
+		CritPath:   *critPath,
+		WatchRules: *watchSpec,
 		// The debug server's /status busy fractions need the collector too.
 		Metrics: *trace != "" || *debugAddr != "",
 	})
@@ -98,6 +118,7 @@ func main() {
 		fail(err)
 	}
 	defer s.Close()
+	s.Watchdog().SetLogger(log)
 
 	if *faultSpec != "" {
 		log.Info("fault injection active", "spec", *faultSpec)
@@ -120,15 +141,18 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, err := obs.NewServer(*debugAddr, obs.Default(),
-			func() any { return s.Status() },
-			func() any { return s.FlightTimeline() })
+		srv, err := obs.NewServer(*debugAddr, obs.Default(), obs.Endpoints{
+			Status:      func() any { return s.Status() },
+			Epochs:      func() any { return s.FlightTimeline() },
+			CritPath:    func() any { return s.CritPathTimeline() },
+			HealthWatch: func() any { return s.HealthWatch() },
+		})
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
 		log.Info("debug server listening", "addr", srv.Addr(),
-			"endpoints", "/metrics /status /epochs /healthz /debug/pprof/")
+			"endpoints", "/metrics /status /epochs /critpath /healthwatch /healthz /debug/pprof/")
 	}
 
 	cached, communicated := s.DependencySummary()
@@ -176,6 +200,11 @@ func main() {
 	}
 	for _, line := range s.CostSummary() {
 		log.Info("cost model", "summary", line)
+	}
+	if *critPath {
+		for _, line := range s.SlowEpochReport() {
+			log.Info("slow epoch", "summary", line)
+		}
 	}
 	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
 		"val", s.Accuracy(neutronstar.SplitVal),

@@ -31,9 +31,10 @@ func (d Delta) String() string {
 // (e.g. tol=0.15 flags >15% slower or >15% more traffic). Runs present in
 // only one document are skipped — adding or removing a configuration is not
 // a regression. The compared metrics are wall_median_seconds,
-// bytes_per_epoch and allocs_per_epoch: time, traffic, and allocator
-// pressure. Allocs are only compared when both documents report them
-// (pre-v2 baselines carry zero there and are skipped).
+// bytes_per_epoch, allocs_per_epoch and straggler_index: time, traffic,
+// allocator pressure, and load balance. Allocs and straggler indices are
+// only compared when both documents report them (older baselines carry zero
+// there and are skipped).
 func Compare(base, cur *Doc, tol float64) []Delta {
 	byName := make(map[string]*Run, len(base.Runs))
 	for i := range base.Runs {
@@ -57,6 +58,12 @@ func Compare(base, cur *Doc, tol float64) []Delta {
 		if b.AllocsPerEpoch > 0 && c.AllocsPerEpoch > 0 {
 			if d := (Delta{Run: c.Name, Metric: "allocs_per_epoch",
 				Old: float64(b.AllocsPerEpoch), New: float64(c.AllocsPerEpoch)}); d.Ratio() > 1+tol {
+				regs = append(regs, d)
+			}
+		}
+		if b.StragglerIndex > 0 && c.StragglerIndex > 0 {
+			if d := (Delta{Run: c.Name, Metric: "straggler_index",
+				Old: b.StragglerIndex, New: c.StragglerIndex}); d.Ratio() > 1+tol {
 				regs = append(regs, d)
 			}
 		}

@@ -24,9 +24,14 @@ import (
 // SchemaVersion is the current BENCH.json schema version.
 //
 // v2 added allocator metrics: Run.AllocsPerEpoch, Run.HeapBytesPerEpoch and
-// the optional Run.Pool summary. Older tools reject v2 documents (the version
-// check is exact), so the committed baseline must be regenerated on a bump.
-const SchemaVersion = 2
+// the optional Run.Pool summary.
+//
+// v3 added causal metrics: Run.StragglerIndex, Run.BarrierShare and the
+// optional Run.CritPath (the critical path of the run's median epoch).
+//
+// Older tools reject newer documents (the version check is exact), so the
+// committed baseline must be regenerated on a bump.
+const SchemaVersion = 3
 
 // Host records where the document was produced. Comparisons across different
 // hosts are informational, not regressions.
@@ -135,6 +140,15 @@ type Run struct {
 	StageCoverage float64          `json:"stage_coverage"`
 	Stages        []StageSummary   `json:"stages"`
 	Residuals     *ResidualSummary `json:"residuals,omitempty"`
+	// StragglerIndex is the median over measured epochs of max/mean
+	// per-worker busy seconds (1.0 = perfect balance); BarrierShare is the
+	// mean fraction of cluster wall time idled at the epoch barrier.
+	StragglerIndex float64 `json:"straggler_index,omitempty"`
+	BarrierShare   float64 `json:"barrier_share,omitempty"`
+	// CritPath is the critical path of the epoch whose wall time is closest
+	// to the run's median — the causal chain that bounded a representative
+	// epoch. Its spans partition the epoch, so CoveredSeconds ≈ WallSeconds.
+	CritPath *obs.CritPath `json:"crit_path,omitempty"`
 }
 
 // Doc is the top-level BENCH.json document.
@@ -183,6 +197,22 @@ func (d *Doc) Validate() error {
 			}
 			if s.MedianSeconds < 0 || s.MeanSeconds < 0 {
 				return fmt.Errorf("bench: run %q stage %q: negative seconds", r.Name, s.Stage)
+			}
+		}
+		if r.StragglerIndex < 0 {
+			return fmt.Errorf("bench: run %q: straggler_index = %g", r.Name, r.StragglerIndex)
+		}
+		if p := r.CritPath; p != nil {
+			if len(p.Spans) == 0 {
+				return fmt.Errorf("bench: run %q: crit_path has no spans", r.Name)
+			}
+			for j, sp := range p.Spans {
+				if sp.Kind != "compute" && sp.Kind != "net" {
+					return fmt.Errorf("bench: run %q: crit_path span %d has kind %q", r.Name, j, sp.Kind)
+				}
+				if sp.EndSeconds < sp.StartSeconds {
+					return fmt.Errorf("bench: run %q: crit_path span %d ends before it starts", r.Name, j)
+				}
 			}
 		}
 	}

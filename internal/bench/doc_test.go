@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"neutronstar/internal/obs"
 )
 
 // -update regenerates testdata/golden.json from goldenDoc. Run it after any
@@ -15,8 +17,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenDoc is a fixed document exercising every schema field, including the
 // optional residual block, the optional pool summary (present on the pooled
-// run, absent on the unpooled one) and a residual-free run. Host metadata is
-// pinned so the golden bytes are host-independent.
+// run, absent on the unpooled one), the v3 causal fields (straggler index,
+// barrier share and a critical path on the multi-worker run; absent on the
+// single-worker one) and a residual-free run. Host metadata is pinned so the
+// golden bytes are host-independent.
 func goldenDoc() *Doc {
 	return &Doc{
 		SchemaVersion: SchemaVersion,
@@ -48,6 +52,18 @@ func goldenDoc() *Doc {
 					Fitted:                FactorSet{Tv: 1.1e-8, Te: 2.2e-9, Tc: 6e-9},
 					MaxAbsComputeResidual: 0.08, MaxAbsCommResidual: 0.15,
 					FlipsCacheToComm: 3, FlipsCommToCache: 0, Slots: 420,
+				},
+				StragglerIndex: 1.18, BarrierShare: 0.06,
+				CritPath: &obs.CritPath{
+					WallSeconds: 0.025, CoveredSeconds: 0.025,
+					Spans: []obs.CritSpan{
+						{Kind: "compute", Worker: 2, Stage: "forward", Layer: 1,
+							StartSeconds: 0, EndSeconds: 0.011},
+						{Kind: "net", Worker: 3, From: 2, MsgKind: "rep", Layer: 2,
+							StartSeconds: 0.011, EndSeconds: 0.014},
+						{Kind: "compute", Worker: 3, Stage: "backward", Layer: 2,
+							StartSeconds: 0.014, EndSeconds: 0.025},
+					},
 				},
 			},
 			{
@@ -115,6 +131,10 @@ func TestValidateRejectsMalformedDocs(t *testing.T) {
 		{"zero wall", func(d *Doc) { d.Runs[0].WallMedianSeconds = 0 }, "wall_median_seconds"},
 		{"unknown stage", func(d *Doc) { d.Runs[0].Stages[0].Stage = "warp_drive" }, "unknown stage"},
 		{"negative seconds", func(d *Doc) { d.Runs[0].Stages[0].MeanSeconds = -1 }, "negative seconds"},
+		{"negative straggler", func(d *Doc) { d.Runs[0].StragglerIndex = -1 }, "straggler_index"},
+		{"empty crit path", func(d *Doc) { d.Runs[0].CritPath.Spans = nil }, "no spans"},
+		{"bad span kind", func(d *Doc) { d.Runs[0].CritPath.Spans[0].Kind = "magic" }, "kind"},
+		{"inverted span", func(d *Doc) { d.Runs[0].CritPath.Spans[0].EndSeconds = -1 }, "ends before"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

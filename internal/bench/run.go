@@ -7,6 +7,7 @@ import (
 
 	"neutronstar/internal/dataset"
 	"neutronstar/internal/engine"
+	"neutronstar/internal/metrics"
 	"neutronstar/internal/obs"
 	"neutronstar/internal/tensor"
 )
@@ -23,6 +24,10 @@ type RunSpec struct {
 	// Pool enables the tensor pool for the run; the emitted Run then carries
 	// a PoolSummary alongside the allocator deltas.
 	Pool bool
+	// Collector, when non-nil, attaches the utilisation collector to the
+	// run's engine so nsbench -json can emit a Chrome trace (with the causal
+	// flow arrows) alongside the document.
+	Collector *metrics.Collector
 }
 
 // BenchSpec is the fixed small workload of the perf-smoke pipeline: an RMAT
@@ -94,15 +99,20 @@ func ExecuteRun(ds *dataset.Dataset, spec RunSpec) (*Run, error) {
 		pool = tensor.NewPool()
 	}
 	rec := obs.NewFlightRecorder()
+	// Causal recording is always on for bench runs: the critical path and
+	// straggler indices are part of the v3 document, and the per-event cost
+	// is noise at this workload size.
+	rec.EnableCausal()
 	eng, err := engine.NewEngine(ds, engine.Options{
-		Workers:  spec.Workers,
-		Mode:     spec.Mode,
-		Ring:     true,
-		LockFree: true,
-		Overlap:  true,
-		Seed:     1,
-		Pool:     pool,
-		Recorder: rec,
+		Workers:   spec.Workers,
+		Mode:      spec.Mode,
+		Ring:      true,
+		LockFree:  true,
+		Overlap:   true,
+		Seed:      1,
+		Pool:      pool,
+		Recorder:  rec,
+		Collector: spec.Collector,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +181,29 @@ func summarize(eng *engine.Engine, spec RunSpec, recs []obs.EpochRecord, finalLo
 	run.BytesPerEpoch = int64(float64(bytesSum) / n)
 	run.StageCoverage = coverSum / n
 
+	// Causal summary: the straggler index is a per-epoch median (robust to
+	// one skewed epoch), the barrier share a mean, and the critical path is
+	// taken from the epoch closest to the median wall time — a representative
+	// epoch, not a cherry-picked best or worst.
+	stragglers := make([]float64, 0, len(recs))
+	var barrierSum float64
+	medianIdx, medianDist := -1, 0.0
+	for i := range recs {
+		r := &recs[i]
+		if r.StragglerIndex > 0 {
+			stragglers = append(stragglers, r.StragglerIndex)
+		}
+		barrierSum += r.BarrierShare
+		if d := abs(r.WallSeconds - run.WallMedianSeconds); medianIdx < 0 || d < medianDist {
+			medianIdx, medianDist = i, d
+		}
+	}
+	run.StragglerIndex = median(stragglers)
+	run.BarrierShare = barrierSum / n
+	if medianIdx >= 0 {
+		run.CritPath = recs[medianIdx].CritPath
+	}
+
 	for _, stage := range obs.StageNames() {
 		perEpoch := make([]float64, len(recs))
 		var secSum float64
@@ -223,6 +256,13 @@ func median(xs []float64) float64 {
 		return s[mid]
 	}
 	return (s[mid-1] + s[mid]) / 2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func maxAbs(cur, x float64) float64 {

@@ -12,7 +12,7 @@ import (
 
 // Wire format for TCP transport, little-endian throughout:
 //
-//	magic     u32  (0x4E545301, "NTS\x01")
+//	magic     u32  (v1 0x4E545301 "NTS\x01", v2 0x4E545302 "NTS\x02")
 //	kind      u8
 //	from, to  u32
 //	epoch     i64
@@ -20,22 +20,38 @@ import (
 //	seq       i32
 //	numVerts  u32
 //	rows,cols u32, u32
+//	--- v2 only: trace context block ---
+//	traceID   u64
+//	spanID    u64
+//	parent    u64
+//	sentNanos i64
+//	--- payload ---
 //	verts     numVerts × i32
 //	data      rows*cols × f32
 //
 // The format is self-delimiting (lengths precede payloads), so a stream of
 // messages needs no extra framing.
+//
+// Versioning: the encoder always emits v2. The decoder accepts both magics —
+// a v1 stream simply yields messages with a zero TraceContext — so a v2
+// process can still read streams captured by older builds. A v2 header whose
+// trace block is truncated is rejected (io.ErrUnexpectedEOF), never padded.
 
-const wireMagic = 0x4E545301
+const (
+	wireMagicV1 = 0x4E545301
+	wireMagicV2 = 0x4E545302
+	// traceBlockLen is the byte length of the v2 trace-context block.
+	traceBlockLen = 32
+)
 
 // maxWireDim bounds decoded allocation sizes against corrupt or hostile
 // streams: no legitimate message in this system approaches it.
 const maxWireDim = 1 << 28
 
-// encodeMessage writes msg in the wire format.
+// encodeMessage writes msg in the wire format (always v2).
 func encodeMessage(w *bufio.Writer, msg *Message) error {
-	var hdr [41]byte
-	binary.LittleEndian.PutUint32(hdr[0:], wireMagic)
+	var hdr [41 + traceBlockLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], wireMagicV2)
 	hdr[4] = byte(msg.Kind)
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(msg.From))
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(msg.To))
@@ -49,6 +65,10 @@ func encodeMessage(w *bufio.Writer, msg *Message) error {
 	}
 	binary.LittleEndian.PutUint32(hdr[33:], uint32(rows))
 	binary.LittleEndian.PutUint32(hdr[37:], uint32(cols))
+	binary.LittleEndian.PutUint64(hdr[41:], msg.Trace.TraceID)
+	binary.LittleEndian.PutUint64(hdr[49:], msg.Trace.SpanID)
+	binary.LittleEndian.PutUint64(hdr[57:], msg.Trace.Parent)
+	binary.LittleEndian.PutUint64(hdr[65:], uint64(msg.Trace.SentUnixNano))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -70,13 +90,15 @@ func encodeMessage(w *bufio.Writer, msg *Message) error {
 	return nil
 }
 
-// decodeMessage reads one message in the wire format.
+// decodeMessage reads one message in the wire format. Both v1 (no trace
+// block) and v2 magics are accepted; v1 messages decode with a zero Trace.
 func decodeMessage(r *bufio.Reader) (*Message, error) {
 	var hdr [41]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != wireMagic {
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	if magic != wireMagicV1 && magic != wireMagicV2 {
 		return nil, fmt.Errorf("comm: bad wire magic %#x", magic)
 	}
 	msg := &Message{
@@ -90,6 +112,21 @@ func decodeMessage(r *bufio.Reader) (*Message, error) {
 	nv := binary.LittleEndian.Uint32(hdr[29:])
 	rows := binary.LittleEndian.Uint32(hdr[33:])
 	cols := binary.LittleEndian.Uint32(hdr[37:])
+	if magic == wireMagicV2 {
+		var tb [traceBlockLen]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF // a v2 header promises the block
+			}
+			return nil, err
+		}
+		msg.Trace = TraceContext{
+			TraceID:      binary.LittleEndian.Uint64(tb[0:]),
+			SpanID:       binary.LittleEndian.Uint64(tb[8:]),
+			Parent:       binary.LittleEndian.Uint64(tb[16:]),
+			SentUnixNano: int64(binary.LittleEndian.Uint64(tb[24:])),
+		}
+	}
 	if nv > maxWireDim || rows > maxWireDim || cols > maxWireDim ||
 		(rows > 0 && cols > maxWireDim/rows) {
 		return nil, fmt.Errorf("comm: wire dimensions out of range (%d verts, %dx%d)", nv, rows, cols)

@@ -54,6 +54,28 @@ func (k MsgKind) String() string {
 	}
 }
 
+// TraceContext is the causal identity a message carries across the fabric:
+// which epoch-level trace it belongs to, which send event it is, which
+// sender-side span caused it, and when the logical send happened. It is
+// stamped once per logical Send (outside any fault-injection wrapper), rides
+// the v2 wire codec, and survives retransmission and duplication unchanged —
+// a redelivered copy is causally the same message, which is exactly what
+// keeps mailbox dedup and critical-path attribution consistent. The zero
+// value means "untraced" and is always legal.
+type TraceContext struct {
+	// TraceID identifies the causal domain (one training epoch of one
+	// recorder); all messages of an epoch share it.
+	TraceID uint64
+	// SpanID uniquely identifies this send event within the trace. It doubles
+	// as the Chrome trace flow-event id.
+	SpanID uint64
+	// Parent is the sender-side span (stage interval) that caused the send;
+	// zero when unknown (e.g. a background send goroutine).
+	Parent uint64
+	// SentUnixNano is the sender's wall clock at the logical Send.
+	SentUnixNano int64
+}
+
 // Message is one fabric transfer. Vertices names the global vertex ids the
 // tensor rows correspond to (may be nil when both sides share the layout).
 type Message struct {
@@ -66,6 +88,8 @@ type Message struct {
 	Seq      int
 	Vertices []int32
 	Rows     *tensor.Tensor
+	// Trace is the causal trace context (zero when tracing is off).
+	Trace TraceContext
 	// sentAt is stamped by the fabric at Send for latency accounting; it is
 	// process-local and never serialised.
 	sentAt time.Time
@@ -344,13 +368,22 @@ func (mb *Mailbox) deliver(msg *Message) {
 	mb.mu.Unlock()
 }
 
-// Wait blocks until the message with the given routing tag arrives.
+// Wait blocks until the message with the given routing tag arrives. When a
+// stage recorder is attached, every cross-worker match is also reported as a
+// causal wait-match event (who waited, from when to when, for whose send) —
+// the message edges of the epoch's event DAG.
 func (mb *Mailbox) Wait(kind MsgKind, epoch, layer, seq, from int) *Message {
 	key := routeKey{kind: kind, epoch: epoch, layer: layer, seq: seq, from: from}
+	sr := mb.stage.p.Load()
+	var waitStart time.Time
+	if sr != nil && from != sr.worker {
+		waitStart = time.Now()
+	}
 	mb.mu.Lock()
 	if msg, ok := mb.pending[key]; ok {
 		delete(mb.pending, key)
 		mb.mu.Unlock()
+		mb.recordWaitMatch(sr, msg, waitStart)
 		return msg
 	}
 	if mb.closed {
@@ -360,7 +393,9 @@ func (mb *Mailbox) Wait(kind MsgKind, epoch, layer, seq, from int) *Message {
 	ch := make(chan *Message, 1)
 	mb.waiting[key] = ch
 	mb.mu.Unlock()
-	return <-ch
+	msg := <-ch
+	mb.recordWaitMatch(sr, msg, waitStart)
+	return msg
 }
 
 func (mb *Mailbox) close() {

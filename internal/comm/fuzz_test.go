@@ -3,6 +3,7 @@ package comm
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -31,9 +32,12 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	seeds := []*Message{
 		{From: 0, To: 1, Kind: KindRep, Epoch: 3, Layer: 1, Seq: 2,
 			Vertices: []int32{7, 9, 11},
-			Rows:     tensor.FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})},
+			Rows:     tensor.FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6}),
+			Trace: TraceContext{TraceID: 1<<32 | 3, SpanID: 42, Parent: 41,
+				SentUnixNano: 1_700_000_000_123_456_789}},
 		{From: 2, To: 0, Kind: KindGrad, Epoch: 0, Layer: 0, Seq: 0,
-			Rows: tensor.FromSlice(1, 4, []float32{0, float32(math.Inf(1)), -0.5, float32(math.NaN())})},
+			Rows:  tensor.FromSlice(1, 4, []float32{0, float32(math.Inf(1)), -0.5, float32(math.NaN())}),
+			Trace: TraceContext{TraceID: ^uint64(0), SpanID: ^uint64(0), Parent: ^uint64(0), SentUnixNano: -1}},
 		{From: 1, To: 2, Kind: KindAllReduce, Epoch: -1, Layer: -1, Seq: 41},
 		{From: 0, To: 3, Kind: KindSample, Epoch: 12, Layer: 2, Seq: 1,
 			Vertices: []int32{-1, 0, 1 << 30}},
@@ -44,12 +48,21 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		f.Add(encodeToBytes(f, m))
 	}
 	// Hostile seeds: bad magic, truncated header, header claiming a huge
-	// payload with no bytes behind it.
+	// payload with no bytes behind it, and a v2 header whose promised trace
+	// block is cut off mid-way (must reject, never zero-pad).
 	f.Add([]byte("not a wire message at all, just junk bytes padding"))
 	f.Add(encodeToBytes(f, seeds[0])[:20])
 	huge := encodeToBytes(f, seeds[2])
 	huge[29], huge[30], huge[31] = 0xff, 0xff, 0xff // numVerts ~ 2^24, absent
 	f.Add(huge)
+	f.Add(encodeToBytes(f, seeds[2])[:41+traceBlockLen/2])
+	// A v1 stream: same 41-byte header under the old magic with the trace
+	// block cut out and the payload following directly. It must still decode
+	// (with a zero Trace) for old-capture compatibility.
+	full := encodeToBytes(f, seeds[3])
+	v1 := append(append([]byte(nil), full[:41]...), full[41+traceBlockLen:]...)
+	binary.LittleEndian.PutUint32(v1[0:], wireMagicV1)
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := decodeMessage(bufio.NewReader(bytes.NewReader(data)))
@@ -63,6 +76,9 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if again.Kind != msg.Kind || again.From != msg.From || again.To != msg.To ||
 			again.Epoch != msg.Epoch || again.Layer != msg.Layer || again.Seq != msg.Seq {
 			t.Fatalf("header drift: %+v vs %+v", again, msg)
+		}
+		if again.Trace != msg.Trace {
+			t.Fatalf("trace drift: %+v vs %+v", again.Trace, msg.Trace)
 		}
 		if len(again.Vertices) != len(msg.Vertices) {
 			t.Fatalf("vertex count drift: %d vs %d", len(again.Vertices), len(msg.Vertices))

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"sync/atomic"
+	"time"
 
 	"neutronstar/internal/obs"
 )
@@ -71,4 +72,18 @@ func (mb *Mailbox) recordDelivery(msg *Message) {
 	}
 	stage, layer := StageOfMsg(msg, true)
 	sr.rec.AddTraffic(sr.worker, stage, layer, int64(msg.WireBytes()), 1)
+}
+
+// recordWaitMatch reports one matched Wait to the flight recorder's causal
+// log: the receiver, the message's routing identity and trace context, and
+// the [waitStart, now] interval the receiver's goroutine spent blocked on it.
+// Runs on the receiver's own goroutine, after the message is in hand, so it
+// never holds mb.mu. Self-sends are not causal edges and are skipped, exactly
+// mirroring the byte-attribution contract above.
+func (mb *Mailbox) recordWaitMatch(sr *stageRecorder, msg *Message, waitStart time.Time) {
+	if sr == nil || msg.From == sr.worker {
+		return
+	}
+	sr.rec.OnWaitMatch(sr.worker, msg.From, msg.Kind.String(), msg.Layer, msg.Seq,
+		msg.Trace.SpanID, msg.Trace.SentUnixNano, waitStart, time.Now())
 }

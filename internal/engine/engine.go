@@ -378,7 +378,38 @@ func (e *Engine) RunEpoch() EpochStats {
 		}
 	}
 	rec.EndEpoch(wall, st.Loss)
+	e.exportFlows(rec)
 	return st
+}
+
+// exportFlows mirrors the finished epoch's cross-worker wait-matches into
+// the collector's tracer as Chrome flow events, so the trace export draws a
+// send→receive arrow for every message that a worker actually blocked on.
+// The causal offsets are anchored at the epoch start; Offset rebases them
+// onto the tracer's run-relative clock.
+func (e *Engine) exportFlows(rec *obs.FlightRecorder) {
+	if e.opts.Collector == nil || !rec.CausalEnabled() {
+		return
+	}
+	last, ok := rec.Last()
+	if !ok || last.CausalStart.IsZero() {
+		return
+	}
+	tr := e.opts.Collector.Tracer()
+	base := tr.Offset(last.CausalStart)
+	for _, m := range last.Matches {
+		if m.SpanID == 0 {
+			continue // untraced message (sent outside the epoch window)
+		}
+		tr.AddFlow(obs.FlowEvent{
+			ID:         m.SpanID,
+			Name:       "msg:" + m.Kind,
+			FromWorker: m.From,
+			At:         base + m.Sent,
+			ToWorker:   m.Worker,
+			End:        base + m.WaitEnd,
+		})
+	}
 }
 
 // Train runs epochs epochs and returns the stats of each.

@@ -27,6 +27,15 @@ func (n *recordingNet) Send(msg *comm.Message) {
 	if msg.From != msg.To {
 		stage, layer := comm.StageOfMsg(msg, false)
 		n.rec.AddTraffic(msg.From, stage, layer, int64(msg.WireBytes()), 1)
+		// Stamp the trace context here, at the logical send, for the same
+		// reason bytes are counted here: fault-layer retransmissions and
+		// duplicates below copy the message verbatim, so every physical copy
+		// carries the original causal id and dedup keeps tracing exact-once.
+		if tid, sid, parent, sent, ok := n.rec.CausalSendContext(msg.From); ok {
+			msg.Trace = comm.TraceContext{
+				TraceID: tid, SpanID: sid, Parent: parent, SentUnixNano: sent,
+			}
+		}
 	}
 	n.inner.Send(msg)
 }

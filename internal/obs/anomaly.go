@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The anomaly watchdog evaluates threshold rules over the flight recorder's
+// epoch records: a stalled run (no epoch completing within a bound), an
+// epoch-time regression against the trailing median, and a straggler index
+// above bound. Alerts go three ways — a structured log line, the
+// ns_watchdog_alerts_total{rule} counter, and the /healthwatch endpoint —
+// so both a human tailing logs and a scraper polling the debug server see
+// the same events.
+
+// Watchdog rule names, used as the Alert.Rule value and the counter label.
+const (
+	RuleStall     = "stall"
+	RuleRegress   = "regress"
+	RuleStraggler = "straggler"
+)
+
+// WatchRules is the threshold-rule set of a Watchdog. Zero-valued rules are
+// disabled, so the zero WatchRules watches nothing.
+type WatchRules struct {
+	// Stall fires when no epoch completes for longer than this.
+	Stall time.Duration `json:"stall_seconds,omitempty"`
+	// Regress fires when an epoch's wall time exceeds Regress times the
+	// trailing median (needs at least watchMinHistory prior epochs).
+	Regress float64 `json:"regress,omitempty"`
+	// Straggler fires when an epoch's straggler index (max/mean per-worker
+	// busy time) exceeds this bound on a multi-worker run.
+	Straggler float64 `json:"straggler,omitempty"`
+	// Window is the trailing-median window in epochs; 0 means
+	// defaultWatchWindow.
+	Window int `json:"window,omitempty"`
+}
+
+const (
+	defaultWatchWindow = 8
+	// watchMinHistory is the minimum number of trailing epochs before the
+	// regression rule can fire — a median of one or two samples is noise.
+	watchMinHistory = 3
+	// watchAlertKeep bounds retained alerts for /healthwatch.
+	watchAlertKeep = 256
+)
+
+// DefaultWatchRules is the rule set selected by the spec "default":
+// conservative bounds that stay quiet on a healthy run.
+func DefaultWatchRules() WatchRules {
+	return WatchRules{Stall: 30 * time.Second, Regress: 1.5, Straggler: 3.0, Window: defaultWatchWindow}
+}
+
+// MarshalJSON renders Stall in seconds — the struct tag promises
+// stall_seconds, and a raw time.Duration would marshal as nanoseconds.
+func (r WatchRules) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		StallSeconds float64 `json:"stall_seconds,omitempty"`
+		Regress      float64 `json:"regress,omitempty"`
+		Straggler    float64 `json:"straggler,omitempty"`
+		Window       int     `json:"window,omitempty"`
+	}
+	return json.Marshal(wire{r.Stall.Seconds(), r.Regress, r.Straggler, r.Window})
+}
+
+// Enabled reports whether any rule is active.
+func (r WatchRules) Enabled() bool {
+	return r.Stall > 0 || r.Regress > 0 || r.Straggler > 0
+}
+
+// window returns the effective trailing-median window.
+func (r WatchRules) window() int {
+	if r.Window > 0 {
+		return r.Window
+	}
+	return defaultWatchWindow
+}
+
+// ParseWatchRules parses a rule spec of comma-separated key=value pairs,
+// mirroring the fault-spec grammar:
+//
+//	stall=30s,regress=1.5,straggler=3.0,window=8
+//
+// Keys: stall (Go duration > 0), regress (factor > 1), straggler (bound > 1),
+// window (epochs >= watchMinHistory). The literal spec "default" selects
+// DefaultWatchRules; the empty spec parses to the disabled zero rules.
+// Unknown keys and out-of-range values are errors.
+func ParseWatchRules(spec string) (WatchRules, error) {
+	var r WatchRules
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return r, nil
+	}
+	if spec == "default" {
+		return DefaultWatchRules(), nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return r, fmt.Errorf("obs: watch rule %q: want key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case RuleStall:
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return r, fmt.Errorf("obs: watch rule stall=%q: want a positive duration like 30s", val)
+			}
+			r.Stall = d
+		case RuleRegress:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 1 {
+				return r, fmt.Errorf("obs: watch rule regress=%q: want a factor > 1", val)
+			}
+			r.Regress = f
+		case RuleStraggler:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 1 {
+				return r, fmt.Errorf("obs: watch rule straggler=%q: want a bound > 1", val)
+			}
+			r.Straggler = f
+		case "window":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < watchMinHistory {
+				return r, fmt.Errorf("obs: watch rule window=%q: want an integer >= %d", val, watchMinHistory)
+			}
+			r.Window = n
+		default:
+			return r, fmt.Errorf("obs: unknown watch rule %q (want stall, regress, straggler or window)", key)
+		}
+	}
+	return r, nil
+}
+
+// Alert is one fired watchdog rule.
+type Alert struct {
+	Rule  string `json:"rule"`
+	Epoch int    `json:"epoch"`
+	// Worker is the implicated worker (straggler rule); -1 when the alert
+	// concerns the whole run.
+	Worker  int       `json:"worker"`
+	Value   float64   `json:"value"`
+	Bound   float64   `json:"bound"`
+	Message string    `json:"message"`
+	At      time.Time `json:"at"`
+}
+
+// HealthReport is the /healthwatch payload: overall verdict, liveness info
+// and the recent alert history.
+type HealthReport struct {
+	Healthy bool       `json:"healthy"`
+	Rules   WatchRules `json:"rules"`
+	// LastEpoch is the most recently observed epoch (-1 before the first).
+	LastEpoch int `json:"last_epoch"`
+	// SinceLastSeconds is the time since that epoch completed.
+	SinceLastSeconds float64 `json:"since_last_seconds"`
+	Alerts           []Alert `json:"alerts"`
+}
+
+// Watchdog evaluates WatchRules over observed epoch records. All methods are
+// safe for concurrent use; a nil *Watchdog is a no-op that reports healthy.
+type Watchdog struct {
+	rules WatchRules
+	reg   *Registry
+
+	mu           sync.Mutex
+	log          *Logger
+	walls        []float64 // trailing wall times, oldest first, cap window
+	alerts       []Alert
+	lastEpoch    int
+	lastEpochAt  time.Time
+	stallAlerted bool
+	now          func() time.Time // test hook
+}
+
+// NewWatchdog returns a watchdog with the given rules, logging alerts to log
+// (nil discards) and counting them in reg (nil skips metrics; the counter is
+// registered lazily on first alert, so an idle watchdog adds no series).
+func NewWatchdog(rules WatchRules, log *Logger, reg *Registry) *Watchdog {
+	return &Watchdog{rules: rules, reg: reg, log: log, lastEpoch: -1, now: time.Now}
+}
+
+// SetLogger replaces the alert logger.
+func (w *Watchdog) SetLogger(log *Logger) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.log = log
+	w.mu.Unlock()
+}
+
+// Rules returns the watchdog's rule set.
+func (w *Watchdog) Rules() WatchRules {
+	if w == nil {
+		return WatchRules{}
+	}
+	return w.rules
+}
+
+// ObserveEpoch feeds one completed epoch record to the watchdog and returns
+// any alerts it fired. Call once per epoch, in order.
+func (w *Watchdog) ObserveEpoch(rec EpochRecord) []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	now := w.now()
+	w.lastEpoch, w.lastEpochAt, w.stallAlerted = rec.Epoch, now, false
+
+	var fired []Alert
+	if w.rules.Regress > 0 && len(w.walls) >= watchMinHistory {
+		med := median(w.walls)
+		if med > 0 && rec.WallSeconds > w.rules.Regress*med {
+			fired = append(fired, Alert{
+				Rule: RuleRegress, Epoch: rec.Epoch, Worker: -1,
+				Value: rec.WallSeconds, Bound: w.rules.Regress * med,
+				Message: fmt.Sprintf("epoch %d took %.3fs, %.2fx the trailing median %.3fs",
+					rec.Epoch, rec.WallSeconds, rec.WallSeconds/med, med),
+				At: now,
+			})
+		}
+	}
+	if w.rules.Straggler > 0 && rec.Workers > 1 && rec.StragglerIndex > w.rules.Straggler {
+		fired = append(fired, Alert{
+			Rule: RuleStraggler, Epoch: rec.Epoch, Worker: rec.SlowestWorker,
+			Value: rec.StragglerIndex, Bound: w.rules.Straggler,
+			Message: fmt.Sprintf("epoch %d straggler index %.2f exceeds %.2f; slowest worker %d",
+				rec.Epoch, rec.StragglerIndex, w.rules.Straggler, rec.SlowestWorker),
+			At: now,
+		})
+	}
+	// The trailing window excludes the epoch being judged, so one slow epoch
+	// cannot mask itself by dragging the median up.
+	w.walls = append(w.walls, rec.WallSeconds)
+	if max := w.rules.window(); len(w.walls) > max {
+		w.walls = w.walls[len(w.walls)-max:]
+	}
+	w.record(fired)
+	log := w.log
+	w.mu.Unlock()
+	emit(log, fired)
+	return fired
+}
+
+// Health evaluates the stall rule lazily and returns the current report —
+// the /healthwatch payload. Healthy means no alert has fired in the current
+// epoch-observation window and the run is not stalled.
+func (w *Watchdog) Health() HealthReport {
+	if w == nil {
+		return HealthReport{Healthy: true, LastEpoch: -1}
+	}
+	return w.healthAt(w.now())
+}
+
+func (w *Watchdog) healthAt(now time.Time) HealthReport {
+	w.mu.Lock()
+	var fired []Alert
+	since := time.Duration(0)
+	if !w.lastEpochAt.IsZero() {
+		since = now.Sub(w.lastEpochAt)
+	}
+	stalled := w.rules.Stall > 0 && !w.lastEpochAt.IsZero() && since > w.rules.Stall
+	if stalled && !w.stallAlerted {
+		w.stallAlerted = true // latch: one alert per stall, reset on progress
+		fired = append(fired, Alert{
+			Rule: RuleStall, Epoch: w.lastEpoch, Worker: -1,
+			Value: since.Seconds(), Bound: w.rules.Stall.Seconds(),
+			Message: fmt.Sprintf("no epoch completed for %.1fs (bound %.1fs); last epoch %d",
+				since.Seconds(), w.rules.Stall.Seconds(), w.lastEpoch),
+			At: now,
+		})
+		w.record(fired)
+	}
+	rep := HealthReport{
+		Healthy:          !stalled && len(w.alerts) == 0,
+		Rules:            w.rules,
+		LastEpoch:        w.lastEpoch,
+		SinceLastSeconds: since.Seconds(),
+		// Non-nil so an alert-free report serialises as [], not null.
+		Alerts: append(make([]Alert, 0, len(w.alerts)), w.alerts...),
+	}
+	log := w.log
+	w.mu.Unlock()
+	emit(log, fired)
+	return rep
+}
+
+// record appends fired alerts to the retained history and bumps the metric.
+// Caller holds w.mu.
+func (w *Watchdog) record(fired []Alert) {
+	for _, a := range fired {
+		if len(w.alerts) >= watchAlertKeep {
+			copy(w.alerts, w.alerts[1:])
+			w.alerts = w.alerts[:len(w.alerts)-1]
+		}
+		w.alerts = append(w.alerts, a)
+		if w.reg != nil {
+			w.reg.CounterVec("ns_watchdog_alerts_total",
+				"Watchdog alerts fired, by rule.", "rule").With(a.Rule).Inc()
+		}
+	}
+}
+
+// emit logs fired alerts outside w.mu (the logger takes its own lock).
+func emit(log *Logger, fired []Alert) {
+	for _, a := range fired {
+		log.Warn("watchdog alert", "rule", a.Rule, "epoch", a.Epoch,
+			"worker", a.Worker, "value", a.Value, "bound", a.Bound, "detail", a.Message)
+	}
+}
+
+// median of a non-empty slice (input not modified).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseWatchRules(t *testing.T) {
+	cases := []struct {
+		spec string
+		want WatchRules
+	}{
+		{"", WatchRules{}},
+		{"default", DefaultWatchRules()},
+		{"stall=30s,regress=1.5,straggler=3.0,window=8",
+			WatchRules{Stall: 30 * time.Second, Regress: 1.5, Straggler: 3.0, Window: 8}},
+		{" stall=500ms , window=4 ", WatchRules{Stall: 500 * time.Millisecond, Window: 4}},
+		{"regress=2", WatchRules{Regress: 2}},
+		{"straggler=1.1,,", WatchRules{Straggler: 1.1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseWatchRules(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseWatchRules(%q): %v", tc.spec, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseWatchRules(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	if DefaultWatchRules().Enabled() != true || (WatchRules{}).Enabled() {
+		t.Fatal("Enabled() wrong on defaults or zero rules")
+	}
+}
+
+func TestParseWatchRulesErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr string
+	}{
+		{"bogus", "key=value"},
+		{"warp=9", "unknown watch rule"},
+		{"stall=fast", "positive duration"},
+		{"stall=-1s", "positive duration"},
+		{"stall=0s", "positive duration"},
+		{"regress=1", "factor > 1"},
+		{"regress=0.5", "factor > 1"},
+		{"regress=nope", "factor > 1"},
+		{"straggler=1", "bound > 1"},
+		{"straggler=x", "bound > 1"},
+		{"window=2", ">= 3"},
+		{"window=abc", ">= 3"},
+		{"stall=30s,regress=0", "factor > 1"}, // later clause still validated
+	}
+	for _, tc := range cases {
+		_, err := ParseWatchRules(tc.spec)
+		if err == nil {
+			t.Fatalf("ParseWatchRules(%q) accepted a malformed spec", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("ParseWatchRules(%q) error %q does not mention %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+func TestWatchdogRegressAgainstTrailingMedian(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(WatchRules{Regress: 1.5, Window: 8}, nil, reg)
+	// Three steady epochs build the history; none may alert (no history yet
+	// for the first, and steady walls after).
+	for e := 1; e <= 3; e++ {
+		if fired := w.ObserveEpoch(EpochRecord{Epoch: e, WallSeconds: 0.100}); len(fired) != 0 {
+			t.Fatalf("epoch %d fired %v with insufficient history", e, fired)
+		}
+	}
+	// 0.120s vs median 0.100s is 1.2x: below the 1.5x bound.
+	if fired := w.ObserveEpoch(EpochRecord{Epoch: 4, WallSeconds: 0.120}); len(fired) != 0 {
+		t.Fatalf("epoch 4 fired %v below the bound", fired)
+	}
+	// 0.200s vs trailing median ~0.100s crosses 1.5x. The slow epoch itself
+	// must not be in the window it is judged against.
+	fired := w.ObserveEpoch(EpochRecord{Epoch: 5, WallSeconds: 0.200})
+	if len(fired) != 1 || fired[0].Rule != RuleRegress || fired[0].Epoch != 5 || fired[0].Worker != -1 {
+		t.Fatalf("epoch 5: fired = %+v, want one run-wide regress alert", fired)
+	}
+	if rep := w.Health(); rep.Healthy || len(rep.Alerts) != 1 {
+		t.Fatalf("health after regress: %+v", rep)
+	}
+	// The alert counter was registered lazily and incremented.
+	var dump strings.Builder
+	reg.WritePrometheus(&dump)
+	if !strings.Contains(dump.String(), `ns_watchdog_alerts_total{rule="regress"} 1`) {
+		t.Fatalf("alert counter missing:\n%s", dump.String())
+	}
+}
+
+func TestWatchdogStragglerNamesSlowestWorker(t *testing.T) {
+	w := NewWatchdog(WatchRules{Straggler: 2.0}, nil, nil)
+	// Single-worker runs cannot straggle.
+	if fired := w.ObserveEpoch(EpochRecord{Epoch: 1, Workers: 1, StragglerIndex: 9, SlowestWorker: 0}); len(fired) != 0 {
+		t.Fatalf("single-worker run fired %v", fired)
+	}
+	if fired := w.ObserveEpoch(EpochRecord{Epoch: 2, Workers: 4, StragglerIndex: 1.3, SlowestWorker: 2}); len(fired) != 0 {
+		t.Fatalf("balanced epoch fired %v", fired)
+	}
+	fired := w.ObserveEpoch(EpochRecord{Epoch: 3, Workers: 4, StragglerIndex: 2.6, SlowestWorker: 2})
+	if len(fired) != 1 || fired[0].Rule != RuleStraggler || fired[0].Worker != 2 {
+		t.Fatalf("fired = %+v, want one straggler alert naming worker 2", fired)
+	}
+	if !strings.Contains(fired[0].Message, "worker 2") {
+		t.Fatalf("alert message %q does not name the worker", fired[0].Message)
+	}
+}
+
+func TestWatchdogStallLatchesAndResets(t *testing.T) {
+	clock := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	w := NewWatchdog(WatchRules{Stall: 10 * time.Second}, nil, nil)
+	w.now = func() time.Time { return clock }
+
+	// Before any epoch there is nothing to stall against.
+	if rep := w.healthAt(clock.Add(time.Hour)); !rep.Healthy {
+		t.Fatalf("pre-first-epoch health: %+v", rep)
+	}
+	w.ObserveEpoch(EpochRecord{Epoch: 1, WallSeconds: 0.1})
+	if rep := w.healthAt(clock.Add(5 * time.Second)); !rep.Healthy {
+		t.Fatalf("5s after an epoch: %+v", rep)
+	}
+	rep := w.healthAt(clock.Add(15 * time.Second))
+	if rep.Healthy || len(rep.Alerts) != 1 || rep.Alerts[0].Rule != RuleStall {
+		t.Fatalf("15s stall: %+v", rep)
+	}
+	// Latched: polling again while still stalled must not multiply alerts.
+	rep = w.healthAt(clock.Add(20 * time.Second))
+	if len(rep.Alerts) != 1 {
+		t.Fatalf("stall alert not latched: %+v", rep.Alerts)
+	}
+	// Progress resets the latch; a second stall fires a second alert.
+	clock = clock.Add(30 * time.Second)
+	w.ObserveEpoch(EpochRecord{Epoch: 2, WallSeconds: 0.1})
+	rep = w.healthAt(clock.Add(11 * time.Second))
+	if len(rep.Alerts) != 2 || rep.Alerts[1].Rule != RuleStall || rep.Alerts[1].Epoch != 2 {
+		t.Fatalf("second stall after progress: %+v", rep.Alerts)
+	}
+}
+
+func TestWatchdogNilIsNoOp(t *testing.T) {
+	var w *Watchdog
+	if fired := w.ObserveEpoch(EpochRecord{Epoch: 1}); fired != nil {
+		t.Fatal("nil watchdog fired")
+	}
+	if rep := w.Health(); !rep.Healthy || rep.LastEpoch != -1 {
+		t.Fatalf("nil watchdog health: %+v", rep)
+	}
+	w.SetLogger(nil)
+	if r := w.Rules(); r.Enabled() {
+		t.Fatalf("nil watchdog rules: %+v", r)
+	}
+}

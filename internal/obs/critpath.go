@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Critical-path extraction over one epoch's event DAG.
+//
+// The DAG has two node kinds, both collected under causal recording:
+//
+//   - compute nodes: the closed StageClock intervals of each worker
+//     (IntervalEvent) — at any instant each worker is in exactly one;
+//   - message edges: matched cross-worker waits (MatchEvent) — worker W
+//     blocked from WaitStart to WaitEnd on a message that worker F stamped
+//     at Sent.
+//
+// The extractor walks backward from the epoch's end: starting on the worker
+// whose recorded activity finished last, it attributes time to that worker's
+// stage intervals until it hits a *binding* wait (one that actually blocked,
+// not a match that found the message already pending), emits a net span
+// [Sent, WaitEnd] for the message, and jumps to the sending worker at Sent.
+// The walk telescopes — compute blocks cover [WaitEnd, t], the net span
+// covers [Sent, WaitEnd], and the walk resumes at Sent — so the emitted
+// spans partition the epoch exactly and CoveredSeconds equals WallSeconds
+// by construction. The result is the single causal chain that bounded the
+// epoch: shortening anything on it shortens the epoch; nothing off it can.
+
+// bindingWaitEps separates waits that actually blocked the receiver from
+// matches that found the message already pending (WaitEnd ≈ WaitStart).
+// Sub-20µs "waits" are channel-handoff noise, not causal dependencies.
+const bindingWaitEps = 20 * time.Microsecond
+
+// critPathMaxSpans bounds the walk against pathological event logs; when the
+// cap is hit the remaining time is closed out as one compute span so the
+// coverage identity still holds.
+const critPathMaxSpans = 512
+
+// CritSpan is one span of an epoch's critical path. Kind is "compute" (the
+// worker was executing Stage at Layer) or "net" (the worker was bound by a
+// MsgKind message in flight from worker From). Times are seconds relative to
+// the epoch start.
+type CritSpan struct {
+	Kind   string `json:"kind"`
+	Worker int    `json:"worker"`
+	// Stage is set on compute spans; "unattributed" marks time no stage
+	// interval covered (clock not yet started, or log truncation).
+	Stage string `json:"stage,omitempty"`
+	Layer int    `json:"layer"`
+	// From and MsgKind are meaningful only on net spans.
+	From         int     `json:"from"`
+	MsgKind      string  `json:"msg_kind,omitempty"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+}
+
+// Seconds returns the span's duration.
+func (s CritSpan) Seconds() float64 { return s.EndSeconds - s.StartSeconds }
+
+// Label returns the span's aggregation key: "compute:<stage>" or
+// "net:<msg kind>".
+func (s CritSpan) Label() string {
+	if s.Kind == "net" {
+		return "net:" + s.MsgKind
+	}
+	return "compute:" + s.Stage
+}
+
+// CritPath is the extracted critical path of one epoch: a chronological
+// chain of spans that partitions [0, WallSeconds]. CoveredSeconds is the sum
+// of span durations and equals WallSeconds up to clock-read jitter.
+type CritPath struct {
+	WallSeconds    float64    `json:"wall_seconds"`
+	CoveredSeconds float64    `json:"covered_seconds"`
+	Spans          []CritSpan `json:"spans"`
+}
+
+// Breakdown aggregates span seconds by Label — the input for "why was this
+// epoch slow" reporting and for watchdog/bench gating.
+func (p *CritPath) Breakdown() map[string]float64 {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, s := range p.Spans {
+		out[s.Label()] += s.Seconds()
+	}
+	return out
+}
+
+// Dominant returns the Label with the most attributed seconds, with its
+// share of the covered time. Empty when the path has no spans.
+func (p *CritPath) Dominant() (label string, share float64) {
+	if p == nil || p.CoveredSeconds <= 0 {
+		return "", 0
+	}
+	var best float64
+	for l, s := range p.Breakdown() {
+		if s > best || (s == best && (label == "" || l < label)) {
+			best, label = s, l
+		}
+	}
+	return label, best / p.CoveredSeconds
+}
+
+// WorkerSeconds aggregates span seconds by the worker the time is attributed
+// to (net spans charge the receiver, whose progress the message bounded).
+func (p *CritPath) WorkerSeconds() map[int]float64 {
+	if p == nil {
+		return nil
+	}
+	out := make(map[int]float64)
+	for _, s := range p.Spans {
+		out[s.Worker] += s.Seconds()
+	}
+	return out
+}
+
+// String renders a compact one-line summary for logs.
+func (p *CritPath) String() string {
+	if p == nil {
+		return "critpath(nil)"
+	}
+	label, share := p.Dominant()
+	return fmt.Sprintf("critpath(%d spans, %.3fs/%.3fs, dominant %s %.0f%%)",
+		len(p.Spans), p.CoveredSeconds, p.WallSeconds, label, share*100)
+}
+
+// extractCritPath walks the epoch's event DAG backward from wall and returns
+// the critical path. intervals and matches are indexed by worker; both are
+// treated read-only. Deterministic for identical inputs: ties are broken by
+// fixed ordering, never map iteration.
+func extractCritPath(wall time.Duration, intervals [][]IntervalEvent, matches [][]MatchEvent) *CritPath {
+	p := &CritPath{WallSeconds: wall.Seconds()}
+	if wall <= 0 || len(intervals) == 0 {
+		return p
+	}
+	for w := range intervals {
+		sort.Slice(intervals[w], func(i, j int) bool {
+			a, b := intervals[w][i], intervals[w][j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.End < b.End
+		})
+	}
+	for w := range matches {
+		sort.Slice(matches[w], func(i, j int) bool {
+			a, b := matches[w][i], matches[w][j]
+			if a.WaitEnd != b.WaitEnd {
+				return a.WaitEnd < b.WaitEnd
+			}
+			return a.SpanID < b.SpanID
+		})
+	}
+
+	// Anchor on the worker whose recorded activity ended last: the epoch
+	// barrier released when it finished, so the causal chain ends there.
+	worker, latest := 0, time.Duration(-1)
+	for w := range intervals {
+		for _, iv := range intervals[w] {
+			// Barrier intervals are the *consequence* of the critical chain
+			// (everyone else idling), never its tail.
+			if iv.Stage == StageBarrier {
+				continue
+			}
+			if iv.End > latest {
+				latest, worker = iv.End, w
+			}
+		}
+	}
+
+	var rev []CritSpan // built backward, reversed before return
+	t := wall
+	for t > 0 {
+		var m *MatchEvent
+		if worker < len(matches) {
+			ms := matches[worker]
+			for i := len(ms) - 1; i >= 0; i-- {
+				c := &ms[i]
+				if c.WaitEnd > t {
+					continue
+				}
+				if c.WaitEnd-c.WaitStart <= bindingWaitEps {
+					continue // found pending: not a binding dependency
+				}
+				if c.Sent >= t || c.From < 0 || c.From >= len(intervals) {
+					continue
+				}
+				m = c
+				break
+			}
+		}
+		boundary := time.Duration(0)
+		if m != nil {
+			boundary = m.WaitEnd
+		}
+		if len(rev) >= critPathMaxSpans {
+			m, boundary = nil, 0 // close out the remainder in one block
+		}
+		rev = appendComputeBlockRev(rev, intervals[worker], worker, boundary, t)
+		if m == nil {
+			break
+		}
+		sent := m.Sent
+		if sent < 0 {
+			sent = 0
+		}
+		// Sent derives from wall-clock arithmetic (UnixNano deltas) while the
+		// wait bounds are monotonic reads; a few microseconds of cross-clock
+		// skew can put the stamp after the wait ended. Clamp rather than emit
+		// an inverted span.
+		if sent > m.WaitEnd {
+			sent = m.WaitEnd
+		}
+		rev = append(rev, CritSpan{
+			Kind: "net", Worker: m.Worker, From: m.From,
+			MsgKind: m.Kind, Layer: m.Layer,
+			StartSeconds: sent.Seconds(), EndSeconds: m.WaitEnd.Seconds(),
+		})
+		if sent >= t {
+			break // no progress; defensive against inconsistent stamps
+		}
+		worker, t = m.From, sent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	p.Spans = rev
+	for _, s := range p.Spans {
+		p.CoveredSeconds += s.Seconds()
+	}
+	return p
+}
+
+// appendComputeBlockRev emits the compute spans of worker over [boundary, t]
+// in reverse-chronological order. The block exactly covers the window: each
+// span starts where the previous one ended, so gaps before a recorded
+// interval are charged to that interval's stage and a trailing gap extends
+// the final span to t. Only a window with no overlapping intervals at all
+// yields an "unattributed" span.
+func appendComputeBlockRev(rev []CritSpan, ivs []IntervalEvent, worker int, boundary, t time.Duration) []CritSpan {
+	if t <= boundary {
+		return rev
+	}
+	// Segments chronological first, then appended reversed.
+	var segs []CritSpan
+	cursor := boundary
+	for _, iv := range ivs {
+		if iv.End <= boundary || iv.Start >= t {
+			continue
+		}
+		end := iv.End
+		if end > t {
+			end = t
+		}
+		if end <= cursor {
+			continue
+		}
+		segs = append(segs, CritSpan{
+			Kind: "compute", Worker: worker,
+			Stage: iv.Stage.String(), Layer: iv.Layer,
+			StartSeconds: cursor.Seconds(), EndSeconds: end.Seconds(),
+		})
+		cursor = end
+	}
+	if cursor < t {
+		if n := len(segs); n > 0 {
+			segs[n-1].EndSeconds = t.Seconds()
+		} else {
+			segs = append(segs, CritSpan{
+				Kind: "compute", Worker: worker, Stage: "unattributed",
+				StartSeconds: boundary.Seconds(), EndSeconds: t.Seconds(),
+			})
+		}
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		rev = append(rev, segs[i])
+	}
+	return rev
+}

@@ -9,24 +9,40 @@ import (
 )
 
 // Server is the opt-in debug server: it exposes the metric registry, a
-// liveness probe, a JSON status snapshot, and the stdlib pprof profiles on
-// one listener. Endpoints:
+// liveness probe, JSON snapshots, and the stdlib pprof profiles on one
+// listener. Endpoints:
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/healthz       200 "ok" liveness probe
-//	/status        JSON snapshot from the status callback
-//	/epochs        JSON flight-recorder timeline from the epochs callback
+//	/status        JSON snapshot from the Status callback
+//	/epochs        JSON flight-recorder timeline from the Epochs callback
+//	/critpath      JSON per-epoch critical paths from the CritPath callback
+//	/healthwatch   JSON watchdog HealthReport from the HealthWatch callback
 //	/debug/pprof/  net/http/pprof index (profile, heap, goroutine, trace, …)
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// Endpoints supplies the JSON snapshot callbacks of a debug server. Each
+// callback is invoked per request and must be safe for concurrent use; a nil
+// callback makes its endpoint serve an empty object.
+type Endpoints struct {
+	// Status serves /status: the run's live status snapshot.
+	Status func() any
+	// Epochs serves /epochs: the flight-recorder timeline.
+	Epochs func() any
+	// CritPath serves /critpath: per-epoch critical paths and straggler
+	// indices (causal recording must be enabled for paths to be non-null).
+	CritPath func() any
+	// HealthWatch serves /healthwatch: the watchdog's HealthReport.
+	HealthWatch func() any
+}
+
 // NewServer binds addr (":8080", "127.0.0.1:0", …) and serves in the
-// background until Close. reg defaults to Default() when nil; status and
-// epochs may be nil, in which case /status and /epochs serve an empty
-// object. The bound address — useful with port 0 — is available via Addr.
-func NewServer(addr string, reg *Registry, status, epochs func() any) (*Server, error) {
+// background until Close. reg defaults to Default() when nil. The bound
+// address — useful with port 0 — is available via Addr.
+func NewServer(addr string, reg *Registry, eps Endpoints) (*Server, error) {
 	if reg == nil {
 		reg = Default()
 	}
@@ -53,8 +69,10 @@ func NewServer(addr string, reg *Registry, status, epochs func() any) (*Server, 
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/status", serveJSON(status))
-	mux.HandleFunc("/epochs", serveJSON(epochs))
+	mux.HandleFunc("/status", serveJSON(eps.Status))
+	mux.HandleFunc("/epochs", serveJSON(eps.Epochs))
+	mux.HandleFunc("/critpath", serveJSON(eps.CritPath))
+	mux.HandleFunc("/healthwatch", serveJSON(eps.HealthWatch))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -4,7 +4,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -31,7 +33,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	epochs := func() any {
 		return map[string]any{"records": []int{1, 2, 3}}
 	}
-	srv, err := NewServer("127.0.0.1:0", reg, status, epochs)
+	srv, err := NewServer("127.0.0.1:0", reg, Endpoints{Status: status, Epochs: epochs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 }
 
 func TestDebugServerNilStatusAndRegistry(t *testing.T) {
-	srv, err := NewServer("127.0.0.1:0", nil, nil, nil)
+	srv, err := NewServer("127.0.0.1:0", nil, Endpoints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,8 +86,98 @@ func TestDebugServerNilStatusAndRegistry(t *testing.T) {
 	if code, body := get(t, base+"/epochs"); code != 200 || strings.TrimSpace(body) != "{}" {
 		t.Fatalf("epochs: %d %q", code, body)
 	}
+	if code, body := get(t, base+"/critpath"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("critpath: %d %q", code, body)
+	}
+	if code, body := get(t, base+"/healthwatch"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("healthwatch: %d %q", code, body)
+	}
 	// nil registry falls back to Default().
 	if code, _ := get(t, base+"/metrics"); code != 200 {
 		t.Fatalf("metrics: %d", code)
+	}
+}
+
+// TestDebugServerConcurrentScrape races /critpath, /healthwatch and /metrics
+// scrapes against a flight recorder that is actively recording causal epochs
+// and a watchdog observing them — the exact shape of a dashboard polling a
+// live training run. Run under -race this is the data-race gate for the
+// whole causal path: the endpoints read the same structures the epoch loop
+// writes.
+func TestDebugServerConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewFlightRecorder()
+	rec.EnableCausal()
+	watch := NewWatchdog(WatchRules{Regress: 1000, Straggler: 1000}, nil, reg)
+	srv, err := NewServer("127.0.0.1:0", reg, Endpoints{
+		Epochs:      func() any { return rec.Snapshot() },
+		CritPath:    func() any { return rec.Snapshot() },
+		HealthWatch: func() any { return watch.Health() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		const workers = 3
+		for epoch := 1; epoch <= 30; epoch++ {
+			rec.BeginEpoch(epoch, workers, 2)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sc := rec.Clock(w)
+					sc.Switch(StageBackward, 1)
+					if w != 0 {
+						rec.OnWaitMatch(w, 0, "rep", 1, 0, uint64(epoch*10+w),
+							time.Now().UnixNano(), time.Now(), time.Now().Add(time.Millisecond))
+					}
+					sc.End()
+				}(w)
+			}
+			wg.Wait()
+			rec.EndEpoch(time.Millisecond, 0.5)
+			if last, ok := rec.Last(); ok {
+				watch.ObserveEpoch(last)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, path := range []string{"/critpath", "/healthwatch", "/metrics", "/epochs"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// t.Fatal is off-limits in a non-test goroutine, so the scrape
+				// loop reports through t.Errorf and bails.
+				resp, err := http.Get(base + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	<-done
+	if rep := watch.Health(); rep.LastEpoch != 30 {
+		t.Fatalf("watchdog saw epoch %d, want 30", rep.LastEpoch)
 	}
 }

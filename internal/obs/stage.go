@@ -96,6 +96,59 @@ type epochAccum struct {
 	workers int
 	layers  int
 	cells   []stageCell // workers × NumStages × (layers+1)
+	// causal, when non-nil, collects the epoch's event DAG (stage intervals
+	// and message wait-matches) for critical-path extraction.
+	causal *causalAccum
+}
+
+// causalAccum is the live causal-event log of one open epoch.
+type causalAccum struct {
+	traceID   uint64
+	startWall time.Time // monotonic anchor: all offsets are relative to it
+	startUnix int64     // matching wall-clock nanos, for message send stamps
+	spanSeq   atomic.Uint64
+	workers   []workerCausal
+}
+
+// workerCausal is one worker's slice of the causal log. Intervals and
+// matches are appended from the worker's own goroutine; the mutex makes the
+// log safe against scrapes and late fault-layer deliveries regardless.
+type workerCausal struct {
+	mu        sync.Mutex
+	intervals []IntervalEvent
+	matches   []MatchEvent
+	// curSpan is the id of the worker's currently open stage interval, read
+	// racily (atomically) by send stamping — background send goroutines may
+	// observe the previous interval, which is an acceptable approximation.
+	curSpan atomic.Uint64
+}
+
+// IntervalEvent is one closed stage interval of one worker: the compute
+// nodes of the epoch's event DAG. Offsets are relative to the epoch start.
+type IntervalEvent struct {
+	Worker int
+	Stage  Stage
+	Layer  int
+	SpanID uint64
+	Start  time.Duration
+	End    time.Duration
+}
+
+// MatchEvent is one matched cross-worker message wait: the edges of the
+// epoch's event DAG. Worker blocked on the message from Sent (the sender's
+// stamped send time; equal to WaitStart when the message was untraced)
+// until WaitEnd; a wait that found the message already pending has
+// WaitEnd ≈ WaitStart. Offsets are relative to the epoch start.
+type MatchEvent struct {
+	Worker    int
+	From      int
+	Kind      string
+	Layer     int
+	Seq       int
+	SpanID    uint64
+	Sent      time.Duration
+	WaitStart time.Duration
+	WaitEnd   time.Duration
 }
 
 func (a *epochAccum) cell(worker int, s Stage, layer int) *stageCell {
@@ -130,6 +183,25 @@ type EpochRecord struct {
 	Workers     int         `json:"workers"`
 	Layers      int         `json:"layers"`
 	Cells       []StageCell `json:"cells"`
+	// StragglerIndex is max/mean of per-worker busy seconds (all stages
+	// except barrier and checkpoint): 1.0 means perfect balance, 2.0 means
+	// the slowest worker did twice the mean work. Zero when unmeasurable.
+	StragglerIndex float64 `json:"straggler_index,omitempty"`
+	// BarrierShare is the fraction of the cluster's total wall time
+	// (workers × wall) spent idling at the epoch barrier — the cost of skew.
+	BarrierShare float64 `json:"barrier_share,omitempty"`
+	// SlowestWorker is the worker with the most busy seconds this epoch.
+	SlowestWorker int `json:"slowest_worker"`
+	// CritPath is the epoch's critical path; nil unless causal recording was
+	// enabled (see FlightRecorder.EnableCausal).
+	CritPath *CritPath `json:"crit_path,omitempty"`
+	// CausalStart anchors the causal offsets (Matches, CritPath spans) in
+	// absolute time; zero when causal recording was off. Not serialised.
+	CausalStart time.Time `json:"-"`
+	// Matches holds the epoch's cross-worker wait-match events for flow-event
+	// export; populated only under causal recording. Not serialised — the
+	// JSON surface carries the distilled CritPath instead.
+	Matches []MatchEvent `json:"-"`
 }
 
 // StageSeconds sums the stage's time across all workers and layers.
@@ -198,12 +270,39 @@ const recorderKeep = 4096
 type FlightRecorder struct {
 	cur atomic.Pointer[epochAccum]
 
+	// id distinguishes this recorder's trace ids from other recorders in the
+	// same process; causal switches BeginEpoch to event-DAG collection.
+	id     uint64
+	causal atomic.Bool
+
 	mu   sync.Mutex
 	recs []EpochRecord
 }
 
+// recorderSeq allocates process-unique recorder ids for trace-id spaces.
+var recorderSeq atomic.Uint64
+
 // NewFlightRecorder returns an empty recorder.
-func NewFlightRecorder() *FlightRecorder { return &FlightRecorder{} }
+func NewFlightRecorder() *FlightRecorder {
+	return &FlightRecorder{id: recorderSeq.Add(1)}
+}
+
+// EnableCausal switches the recorder to causal mode: every following epoch
+// also collects its event DAG (per-worker stage intervals plus cross-worker
+// message wait-matches) and closes with a critical-path extraction. The
+// per-event cost is one mutex-protected append; recording stays cheap enough
+// for always-on use but is opt-in because the log grows with message count.
+func (r *FlightRecorder) EnableCausal() {
+	if r == nil {
+		return
+	}
+	r.causal.Store(true)
+}
+
+// CausalEnabled reports whether causal recording is on.
+func (r *FlightRecorder) CausalEnabled() bool {
+	return r != nil && r.causal.Load()
+}
 
 // BeginEpoch opens the accumulator for one epoch over the given cluster
 // shape. An already-open epoch is discarded (protocol misuse, not fatal).
@@ -215,7 +314,68 @@ func (r *FlightRecorder) BeginEpoch(epoch, workers, layers int) {
 		epoch: epoch, workers: workers, layers: layers,
 		cells: make([]stageCell, workers*int(NumStages)*(layers+1)),
 	}
+	if r.causal.Load() {
+		now := time.Now()
+		a.causal = &causalAccum{
+			traceID:   r.id<<32 | uint64(uint32(epoch)),
+			startWall: now,
+			startUnix: now.UnixNano(),
+			workers:   make([]workerCausal, workers),
+		}
+	}
 	r.cur.Store(a)
+}
+
+// OnWaitMatch appends one message wait-match to the open epoch's causal log:
+// worker matched the message (kind, layer, seq) from peer from, having
+// blocked from waitStart to waitEnd; spanID and sentUnixNano come from the
+// message's trace context (zero when the message was untraced). A no-op when
+// the recorder is nil, causal recording is off, or no epoch is open.
+func (r *FlightRecorder) OnWaitMatch(worker, from int, kind string, layer, seq int,
+	spanID uint64, sentUnixNano int64, waitStart, waitEnd time.Time) {
+	if r == nil {
+		return
+	}
+	a := r.cur.Load()
+	if a == nil || a.causal == nil || worker < 0 || worker >= a.workers {
+		return
+	}
+	ca := a.causal
+	m := MatchEvent{
+		Worker: worker, From: from, Kind: kind, Layer: layer, Seq: seq,
+		SpanID:    spanID,
+		WaitStart: waitStart.Sub(ca.startWall),
+		WaitEnd:   waitEnd.Sub(ca.startWall),
+	}
+	if sentUnixNano > 0 {
+		m.Sent = time.Duration(sentUnixNano - ca.startUnix)
+	} else {
+		// Untraced message: the visible blocking interval is all we know.
+		m.Sent = m.WaitStart
+	}
+	wc := &ca.workers[worker]
+	wc.mu.Lock()
+	wc.matches = append(wc.matches, m)
+	wc.mu.Unlock()
+}
+
+// CausalSendContext allocates the trace context for one logical message send
+// by worker: the epoch's trace id, a fresh span id (which doubles as the
+// flow-event id), the sender's currently open stage interval as parent, and
+// the send wall-clock stamp. ok is false — and the values zero — when causal
+// recording is off or no epoch is open; callers then leave the message
+// untraced.
+func (r *FlightRecorder) CausalSendContext(worker int) (traceID, spanID, parent uint64, sentUnixNano int64, ok bool) {
+	if r == nil {
+		return 0, 0, 0, 0, false
+	}
+	a := r.cur.Load()
+	if a == nil || a.causal == nil || worker < 0 || worker >= a.workers {
+		return 0, 0, 0, 0, false
+	}
+	ca := a.causal
+	return ca.traceID, ca.spanSeq.Add(1), ca.workers[worker].curSpan.Load(),
+		time.Now().UnixNano(), true
 }
 
 // EndEpoch closes the open epoch into an immutable record. Attribution
@@ -233,6 +393,8 @@ func (r *FlightRecorder) EndEpoch(wall time.Duration, loss float64) {
 		Epoch: a.epoch, WallSeconds: wall.Seconds(), Loss: loss,
 		Workers: a.workers, Layers: a.layers,
 	}
+	busy := make([]float64, a.workers)
+	var barrier float64
 	for w := 0; w < a.workers; w++ {
 		for s := Stage(0); s < NumStages; s++ {
 			for l := 0; l <= a.layers; l++ {
@@ -241,12 +403,49 @@ func (r *FlightRecorder) EndEpoch(wall time.Duration, loss float64) {
 				if nanos == 0 && bytes == 0 && msgs == 0 {
 					continue
 				}
+				sec := float64(nanos) / 1e9
+				switch s {
+				case StageBarrier:
+					barrier += sec
+				case StageCheckpoint:
+					// Outside the epoch wall; neither busy nor barrier.
+				default:
+					busy[w] += sec
+				}
 				rec.Cells = append(rec.Cells, StageCell{
 					Worker: w, Stage: s.String(), Layer: l,
-					Seconds: float64(nanos) / 1e9, Bytes: bytes, Msgs: msgs,
+					Seconds: sec, Bytes: bytes, Msgs: msgs,
 				})
 			}
 		}
+	}
+	var sum, max float64
+	for w, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+			rec.SlowestWorker = w
+		}
+	}
+	if mean := sum / float64(a.workers); mean > 0 {
+		rec.StragglerIndex = max / mean
+	}
+	if total := float64(a.workers) * wall.Seconds(); total > 0 {
+		rec.BarrierShare = barrier / total
+	}
+	if ca := a.causal; ca != nil {
+		rec.CausalStart = ca.startWall
+		intervals := make([][]IntervalEvent, a.workers)
+		matches := make([][]MatchEvent, a.workers)
+		for w := range ca.workers {
+			wc := &ca.workers[w]
+			wc.mu.Lock()
+			intervals[w] = wc.intervals
+			matches[w] = wc.matches
+			wc.mu.Unlock()
+			rec.Matches = append(rec.Matches, matches[w]...)
+		}
+		rec.CritPath = extractCritPath(wall, intervals, matches)
 	}
 	r.mu.Lock()
 	if len(r.recs) >= recorderKeep {
@@ -301,7 +500,12 @@ func (r *FlightRecorder) Clock(worker int) *StageClock {
 	if a == nil || worker < 0 || worker >= a.workers {
 		return nil
 	}
-	return &StageClock{acc: a, worker: worker, stage: StageForward, layer: 1, last: time.Now()}
+	c := &StageClock{acc: a, worker: worker, stage: StageForward, layer: 1, last: time.Now()}
+	if ca := a.causal; ca != nil {
+		c.spanID = ca.spanSeq.Add(1)
+		ca.workers[worker].curSpan.Store(c.spanID)
+	}
+	return c
 }
 
 // Snapshot returns a copy of every completed epoch record, oldest first.
@@ -326,6 +530,19 @@ func (r *FlightRecorder) Epochs() int {
 	return len(r.recs)
 }
 
+// Last returns the most recently completed epoch record, if any.
+func (r *FlightRecorder) Last() (EpochRecord, bool) {
+	if r == nil {
+		return EpochRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recs) == 0 {
+		return EpochRecord{}, false
+	}
+	return r.recs[len(r.recs)-1], true
+}
+
 // StageClock attributes one worker goroutine's wall time exclusively: at any
 // instant the worker is in exactly one (stage, layer), and Switch charges the
 // elapsed time to the stage being left. The per-worker stage sum therefore
@@ -337,6 +554,8 @@ type StageClock struct {
 	stage  Stage
 	layer  int
 	last   time.Time
+	// spanID identifies the currently open interval under causal recording.
+	spanID uint64
 }
 
 // Switch charges elapsed time to the current stage and enters (s, layer).
@@ -349,6 +568,20 @@ func (c *StageClock) Switch(s Stage, layer int) {
 		if cell := c.acc.cell(c.worker, c.stage, c.layer); cell != nil {
 			cell.nanos.Add(int64(d))
 		}
+	}
+	if ca := c.acc.causal; ca != nil {
+		wc := &ca.workers[c.worker]
+		start, end := c.last.Sub(ca.startWall), now.Sub(ca.startWall)
+		if end > start {
+			wc.mu.Lock()
+			wc.intervals = append(wc.intervals, IntervalEvent{
+				Worker: c.worker, Stage: c.stage, Layer: c.layer,
+				SpanID: c.spanID, Start: start, End: end,
+			})
+			wc.mu.Unlock()
+		}
+		c.spanID = ca.spanSeq.Add(1)
+		wc.curSpan.Store(c.spanID)
 	}
 	c.stage, c.layer, c.last = s, layer, now
 }

@@ -9,7 +9,13 @@
 //     histograms with label support, exposed in Prometheus text exposition
 //     format;
 //   - a debug server (server.go): an opt-in net/http server wiring
-//     /metrics, /healthz, /status and net/http/pprof to a running process.
+//     /metrics, /healthz, /status, /critpath, /healthwatch and
+//     net/http/pprof to a running process;
+//   - causal telemetry (stage.go, critpath.go): per-epoch event DAGs of
+//     stage intervals and cross-worker message waits, distilled into the
+//     epoch's critical path and straggler indices;
+//   - an anomaly watchdog (anomaly.go): threshold rules over epoch records
+//     firing structured alerts and a health report.
 //
 // The flat busy-interval accounting of internal/metrics is built on top of
 // the tracer: each tracked interval is a span carrying a class (the
@@ -85,6 +91,7 @@ type Tracer struct {
 
 	mu    sync.Mutex
 	spans []SpanData
+	flows []FlowEvent
 }
 
 // NewTracer returns an empty tracer.
@@ -98,6 +105,53 @@ func (t *Tracer) Now() time.Duration {
 	}
 	t.startOnce.Do(func() { t.start = time.Now() })
 	return time.Since(t.start)
+}
+
+// Offset converts an absolute time to this tracer's run-relative clock,
+// starting the clock on first use. It lets externally anchored events (the
+// flight recorder's causal offsets) be imported onto the same timeline as
+// live spans.
+func (t *Tracer) Offset(at time.Time) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.startOnce.Do(func() { t.start = time.Now() })
+	return at.Sub(t.start)
+}
+
+// FlowEvent is one cross-worker arrow in the Chrome trace: a message that
+// left FromWorker at At and was consumed on ToWorker at End. ID ties the
+// start and finish halves together and must be unique per arrow (the causal
+// span id is used in practice).
+type FlowEvent struct {
+	ID         uint64
+	Name       string
+	FromWorker int
+	At         time.Duration
+	ToWorker   int
+	End        time.Duration
+}
+
+// AddFlow records one cross-worker flow arrow.
+func (t *Tracer) AddFlow(f FlowEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flows = append(t.flows, f)
+	t.mu.Unlock()
+}
+
+// Flows copies all recorded flow events in insertion order.
+func (t *Tracer) Flows() []FlowEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FlowEvent, len(t.flows))
+	copy(out, t.flows)
+	return out
 }
 
 // Span is an open span; End finishes it. A span must be ended by the
@@ -179,17 +233,23 @@ func (t *Tracer) Snapshot() []SpanData {
 
 // WriteChromeTrace exports every finished span in Chrome trace-event format
 // (a JSON array loadable in chrome://tracing or Perfetto): one "M" metadata
-// event naming each worker row via workerName, then one "X" complete event
-// per span with its attributes as args. Timestamps are microseconds from the
-// tracer's first event. Output always ends with a newline, including for a
-// nil tracer (which writes an empty array).
+// event naming each worker row via workerName, one "X" complete event per
+// span with its attributes as args, and an "s"/"f" flow-event pair per
+// recorded FlowEvent (rendered as a cross-worker arrow). Timestamps are
+// microseconds from the tracer's first event. Output always ends with a
+// newline, including for a nil tracer (which writes an empty array).
 func (t *Tracer) WriteChromeTrace(w io.Writer, workerName func(worker int) string) error {
 	spans := t.Snapshot()
-	events := make([]map[string]any, 0, len(spans)+8)
+	flows := t.Flows()
+	events := make([]map[string]any, 0, len(spans)+2*len(flows)+8)
 
 	workers := map[int]bool{}
 	for _, sp := range spans {
 		workers[sp.Worker] = true
+	}
+	for _, f := range flows {
+		workers[f.FromWorker] = true
+		workers[f.ToWorker] = true
 	}
 	ids := make([]int, 0, len(workers))
 	for id := range workers {
@@ -227,6 +287,26 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, workerName func(worker int) strin
 			ev["args"] = args
 		}
 		events = append(events, ev)
+	}
+	for _, f := range flows {
+		// Clamp the start half to the timeline: a send stamped before the
+		// tracer's first event would otherwise render off-screen.
+		at := f.At
+		if at < 0 {
+			at = 0
+		}
+		end := f.End
+		if end < at {
+			end = at
+		}
+		events = append(events, map[string]any{
+			"name": f.Name, "cat": "flow", "ph": "s", "id": f.ID,
+			"ts": float64(at.Microseconds()), "pid": 0, "tid": f.FromWorker,
+		})
+		events = append(events, map[string]any{
+			"name": f.Name, "cat": "flow", "ph": "f", "bp": "e", "id": f.ID,
+			"ts": float64(end.Microseconds()), "pid": 0, "tid": f.ToWorker,
+		})
 	}
 	return json.NewEncoder(w).Encode(events)
 }

@@ -31,6 +31,7 @@ package neutronstar
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -152,6 +153,16 @@ type Config struct {
 	// exact same training trajectory. Ignored under FaultSpec (retransmission
 	// goroutines may hold payloads past the barrier).
 	Pool bool
+	// CritPath enables causal recording: every message carries a trace
+	// context, each epoch closes with a critical-path extraction and
+	// straggler indices (served on /critpath and via SlowEpochReport), and
+	// the Chrome trace export gains cross-worker flow arrows.
+	CritPath bool
+	// WatchRules enables the anomaly watchdog, e.g.
+	// "stall=30s,regress=1.5,straggler=3.0" or "default" — see the grammar
+	// in internal/obs's ParseWatchRules. Alerts are logged, counted in the
+	// metric registry and served on /healthwatch. Empty disables watching.
+	WatchRules string
 }
 
 // LRSchedule selects a learning-rate decay policy. The zero value keeps a
@@ -276,6 +287,7 @@ type Session struct {
 	coll  *metrics.Collector
 	store *ckpt.Store
 	rec   *obs.FlightRecorder
+	watch *obs.Watchdog
 
 	mu        sync.Mutex
 	lastEpoch int
@@ -301,12 +313,23 @@ func NewSession(ds *Dataset, cfg Config) (*Session, error) {
 	// Every session records its epoch flights: the recorder's hot path is a
 	// handful of atomic adds per stage switch, cheap enough to keep always-on.
 	rec := obs.NewFlightRecorder()
+	if cfg.CritPath {
+		rec.EnableCausal()
+	}
 	opts.Recorder = rec
+	var watch *obs.Watchdog
+	if cfg.WatchRules != "" {
+		rules, err := obs.ParseWatchRules(cfg.WatchRules)
+		if err != nil {
+			return nil, err
+		}
+		watch = obs.NewWatchdog(rules, nil, obs.Default())
+	}
 	eng, err := engine.NewEngine(ds.inner, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{ds: ds, eng: eng, coll: coll, store: store, rec: rec}, nil
+	return &Session{ds: ds, eng: eng, coll: coll, store: store, rec: rec, watch: watch}, nil
 }
 
 // Resume restores the newest snapshot in Config.CkptDir and reports whether
@@ -451,6 +474,11 @@ func (s *Session) Train(epochs int) []EpochResult {
 		s.mu.Lock()
 		s.lastEpoch, s.lastLoss = st.Epoch, st.Loss
 		s.mu.Unlock()
+		if s.watch != nil {
+			if rec, ok := s.rec.Last(); ok {
+				s.watch.ObserveEpoch(rec)
+			}
+		}
 		out = append(out, EpochResult{
 			Epoch: st.Epoch, Loss: st.Loss,
 			Millis:  float64(st.Duration.Microseconds()) / 1000,
@@ -601,6 +629,95 @@ func (s *Session) FlightTimeline() any {
 		out["cost_report"] = cr
 	}
 	return out
+}
+
+// CritPathTimeline returns per-epoch critical paths and straggler indices as
+// a JSON-marshalable value — the payload of the debug server's /critpath
+// endpoint. Paths are non-null only under Config.CritPath; the straggler
+// fields are always populated. Safe to call concurrently with Train.
+func (s *Session) CritPathTimeline() any {
+	type entry struct {
+		Epoch          int           `json:"epoch"`
+		WallSeconds    float64       `json:"wall_seconds"`
+		StragglerIndex float64       `json:"straggler_index"`
+		BarrierShare   float64       `json:"barrier_share"`
+		SlowestWorker  int           `json:"slowest_worker"`
+		CritPath       *obs.CritPath `json:"crit_path,omitempty"`
+	}
+	recs := s.rec.Snapshot()
+	out := make([]entry, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, entry{
+			Epoch: r.Epoch, WallSeconds: r.WallSeconds,
+			StragglerIndex: r.StragglerIndex, BarrierShare: r.BarrierShare,
+			SlowestWorker: r.SlowestWorker, CritPath: r.CritPath,
+		})
+	}
+	return map[string]any{"causal": s.rec.CausalEnabled(), "epochs": out}
+}
+
+// Watchdog returns the session's anomaly watchdog, or nil if
+// Config.WatchRules was empty.
+func (s *Session) Watchdog() *obs.Watchdog { return s.watch }
+
+// HealthWatch returns the watchdog's health report — the payload of the
+// debug server's /healthwatch endpoint. Without a watchdog it reports
+// healthy with no rules.
+func (s *Session) HealthWatch() obs.HealthReport { return s.watch.Health() }
+
+// SlowEpochReport renders the "why was this epoch slow" analysis as
+// human-readable lines: the run's slowest epoch, its critical-path
+// breakdown, and the straggler verdict. Empty before the first trained
+// epoch; critical-path lines require Config.CritPath.
+func (s *Session) SlowEpochReport() []string {
+	recs := s.rec.Snapshot()
+	if len(recs) == 0 {
+		return nil
+	}
+	slow, wallSum := recs[0], 0.0
+	for _, r := range recs {
+		wallSum += r.WallSeconds
+		if r.WallSeconds > slow.WallSeconds {
+			slow = r
+		}
+	}
+	mean := wallSum / float64(len(recs))
+	lines := []string{fmt.Sprintf(
+		"slowest epoch: %d at %.3fs (run mean %.3fs, %.2fx)",
+		slow.Epoch, slow.WallSeconds, mean, slow.WallSeconds/mean)}
+	if slow.Workers > 1 && slow.StragglerIndex > 0 {
+		lines = append(lines, fmt.Sprintf(
+			"straggler index %.2f (worker %d slowest, barrier share %.0f%%)",
+			slow.StragglerIndex, slow.SlowestWorker, 100*slow.BarrierShare))
+	}
+	if p := slow.CritPath; p != nil {
+		label, share := p.Dominant()
+		lines = append(lines, fmt.Sprintf(
+			"critical path: %d spans covering %.3fs of %.3fs wall; dominant %s at %.0f%%",
+			len(p.Spans), p.CoveredSeconds, p.WallSeconds, label, 100*share))
+		type kv struct {
+			label string
+			sec   float64
+		}
+		var parts []kv
+		for l, sec := range p.Breakdown() {
+			parts = append(parts, kv{l, sec})
+		}
+		sort.Slice(parts, func(i, j int) bool {
+			if parts[i].sec != parts[j].sec {
+				return parts[i].sec > parts[j].sec
+			}
+			return parts[i].label < parts[j].label
+		})
+		for i, part := range parts {
+			if i == 3 {
+				break // the top three explain the epoch; the rest is noise
+			}
+			lines = append(lines, fmt.Sprintf("  %-24s %.3fs (%.0f%%)",
+				part.label, part.sec, 100*part.sec/p.CoveredSeconds))
+		}
+	}
+	return lines
 }
 
 // CostSummary renders the cost-model validation (probed vs. fitted factors,

@@ -1,5 +1,8 @@
 // Command benchdiff compares two BENCH.json documents and fails on
-// performance regressions.
+// performance regressions. Four axes are gated: wall_median_seconds,
+// bytes_per_epoch, allocs_per_epoch and straggler_index (load balance);
+// the latter two only compare when both documents carry them, so older
+// baselines stay readable.
 //
 // Usage:
 //
