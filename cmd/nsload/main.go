@@ -1,0 +1,408 @@
+// Command nsload drives a seeded request mix against a running nsserve
+// instance and reports latency percentiles, throughput and cache
+// effectiveness. It can run closed-loop (fixed concurrency, the next request
+// fires when one completes) or open-loop (fixed arrival rate, independent of
+// completions), and can write its results as the serving block of a
+// schema-versioned bench document for benchdiff gating.
+//
+//	nsserve -dataset cora -model gcn -train 30 -addr :8090 &
+//	nsload -addr localhost:8090 -requests 500 -concurrency 8
+//	nsload -addr localhost:8090 -rate 200 -duration 5s
+//
+// For CI gating, merge the serving block into an existing bench document and
+// fail on absolute floors:
+//
+//	nsload -addr localhost:8090 -requests 400 -seed 7 \
+//	  -bench-out BENCH.json -merge BENCH_baseline.json \
+//	  -min-qps 20 -max-p99-ms 500 -min-cache-hits 1
+//
+// The request mix is deterministic in -seed: request i derives its own RNG
+// from seed and i, so two runs with the same flags issue byte-identical
+// request bodies in some order.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neutronstar/internal/bench"
+	"neutronstar/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8090", "nsserve address (host:port)")
+		requests    = flag.Int("requests", 400, "total requests to send")
+		duration    = flag.Duration("duration", 0, "stop after this long even if -requests remain (0 = no limit)")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
+		vertsPerReq = flag.Int("verts", 4, "queried vertices per request")
+		mixSpec     = flag.String("mix", "predict=0.8,embed=0.1,linkscore=0.1", "request mix as endpoint=weight pairs")
+		fanoutSpec  = flag.String("fanouts", "", "comma-separated per-layer fanouts for sampled queries (empty = exact)")
+		seed        = flag.Uint64("seed", 1, "seed pinning the request mix")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+
+		benchOut     = flag.String("bench-out", "", "write a bench document with the serving summary to this file")
+		mergeFrom    = flag.String("merge", "", "read this bench document and carry its runs into -bench-out")
+		minQPS       = flag.Float64("min-qps", 0, "exit 1 if measured QPS falls below this")
+		maxP99Ms     = flag.Float64("max-p99-ms", 0, "exit 1 if p99 latency exceeds this many ms (0 = no gate)")
+		minCacheHits = flag.Int64("min-cache-hits", -1, "exit 1 if the server's cache hit delta is below this (-1 = no gate)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "nsload: %v\n", err)
+		os.Exit(1)
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fail(err)
+	}
+	fanouts, err := parseFanouts(*fanoutSpec)
+	if err != nil {
+		fail(err)
+	}
+	if *requests <= 0 {
+		fail(fmt.Errorf("-requests must be positive, got %d", *requests))
+	}
+	if *vertsPerReq <= 0 {
+		fail(fmt.Errorf("-verts must be positive, got %d", *vertsPerReq))
+	}
+	if *rate < 0 {
+		fail(fmt.Errorf("-rate must be non-negative, got %g", *rate))
+	}
+	if *rate == 0 && *concurrency <= 0 {
+		fail(fmt.Errorf("-concurrency must be positive, got %d", *concurrency))
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+	before, err := fetchStats(client, base)
+	if err != nil {
+		fail(fmt.Errorf("is nsserve running at %s? %w", *addr, err))
+	}
+	if fanouts != nil && len(fanouts) != before.Layers {
+		fail(fmt.Errorf("-fanouts has %d entries but the served model has %d layers", len(fanouts), before.Layers))
+	}
+
+	gen := &reqGen{
+		n:       before.NumVertices,
+		verts:   *vertsPerReq,
+		mix:     mix,
+		fanouts: fanouts,
+		seed:    *seed,
+	}
+	var lats []float64 // milliseconds, successes only
+	var errs int64
+	var mu sync.Mutex
+	record := func(ms float64, ok bool) {
+		mu.Lock()
+		if ok {
+			lats = append(lats, ms)
+		} else {
+			errs++
+		}
+		mu.Unlock()
+	}
+	shoot := func(i int) {
+		path, body := gen.request(i)
+		t0 := time.Now()
+		ok := post(client, base+path, body)
+		record(float64(time.Since(t0).Nanoseconds())/1e6, ok)
+	}
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	mode := "closed"
+	start := time.Now()
+	if *rate > 0 {
+		mode = "open"
+		interval := time.Duration(float64(time.Second) / *rate)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(interval)
+		for i := 0; i < *requests && !expired(); i++ {
+			<-tick.C
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); shoot(i) }(i)
+		}
+		tick.Stop()
+		wg.Wait()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(*requests) || expired() {
+						return
+					}
+					shoot(int(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, base)
+	if err != nil {
+		fail(err)
+	}
+	hits := after.Cache.Hits - before.Cache.Hits
+	misses := after.Cache.Misses - before.Cache.Misses
+
+	sent := int64(len(lats)) + errs
+	if len(lats) == 0 {
+		fail(fmt.Errorf("all %d requests failed", sent))
+	}
+	sort.Float64s(lats)
+	sum := 0.0
+	for _, l := range lats {
+		sum += l
+	}
+	summary := &bench.ServingSummary{
+		Mode:            mode,
+		Requests:        sent,
+		Errors:          errs,
+		VertsPerReq:     *vertsPerReq,
+		Seed:            *seed,
+		DurationSeconds: elapsed.Seconds(),
+		QPS:             float64(len(lats)) / elapsed.Seconds(),
+		P50LatencyMs:    percentile(lats, 0.50),
+		P99LatencyMs:    percentile(lats, 0.99),
+		MeanLatencyMs:   sum / float64(len(lats)),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+	}
+	if mode == "open" {
+		summary.RateQPS = *rate
+	} else {
+		summary.Concurrency = *concurrency
+	}
+
+	fmt.Printf("mode=%s requests=%d errors=%d elapsed=%.2fs qps=%.1f\n",
+		mode, sent, errs, elapsed.Seconds(), summary.QPS)
+	fmt.Printf("latency_ms p50=%.3f p99=%.3f mean=%.3f\n",
+		summary.P50LatencyMs, summary.P99LatencyMs, summary.MeanLatencyMs)
+	fmt.Printf("cache hits=%d misses=%d (delta over this window)\n", hits, misses)
+
+	if *benchOut != "" {
+		doc := &bench.Doc{
+			SchemaVersion: bench.SchemaVersion,
+			Graph: bench.GraphInfo{Name: "served", Vertices: before.NumVertices,
+				Classes: before.Classes, Layers: before.Layers},
+			Host: bench.CurrentHost(),
+		}
+		if *mergeFrom != "" {
+			doc, err = bench.ReadFile(*mergeFrom)
+			if err != nil {
+				fail(fmt.Errorf("-merge: %w", err))
+			}
+			doc.SchemaVersion = bench.SchemaVersion
+		}
+		doc.Serving = summary
+		if err := doc.WriteFile(*benchOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("bench document written to %s\n", *benchOut)
+	}
+
+	// Absolute gates for CI smoke jobs: these catch a broken serving path
+	// (zero throughput, pathological tail, cold cache) without needing a
+	// baseline document.
+	bad := false
+	if *minQPS > 0 && summary.QPS < *minQPS {
+		fmt.Fprintf(os.Stderr, "nsload: GATE qps %.1f < min %.1f\n", summary.QPS, *minQPS)
+		bad = true
+	}
+	if *maxP99Ms > 0 && summary.P99LatencyMs > *maxP99Ms {
+		fmt.Fprintf(os.Stderr, "nsload: GATE p99 %.3fms > max %.3fms\n", summary.P99LatencyMs, *maxP99Ms)
+		bad = true
+	}
+	if *minCacheHits >= 0 && hits < *minCacheHits {
+		fmt.Fprintf(os.Stderr, "nsload: GATE cache hits %d < min %d\n", hits, *minCacheHits)
+		bad = true
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "nsload: GATE %d request errors\n", errs)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// reqGen builds the i-th request of the deterministic mix. Each request
+// derives a private RNG from (seed, i) so the mix does not depend on the
+// interleaving of concurrent workers.
+type reqGen struct {
+	n       int
+	verts   int
+	mix     []mixEntry
+	fanouts []int
+	seed    uint64
+}
+
+type mixEntry struct {
+	endpoint string
+	cum      float64 // cumulative weight in (0,1]
+}
+
+func (g *reqGen) request(i int) (path string, body []byte) {
+	rng := rand.New(rand.NewSource(int64(g.seed ^ uint64(i)*0x9E3779B97F4A7C15)))
+	endpoint := g.mix[len(g.mix)-1].endpoint
+	p := rng.Float64()
+	for _, m := range g.mix {
+		if p < m.cum {
+			endpoint = m.endpoint
+			break
+		}
+	}
+	pick := func() int32 { return int32(rng.Intn(g.n)) }
+	switch endpoint {
+	case "linkscore":
+		npairs := (g.verts + 1) / 2
+		req := struct {
+			Pairs   [][2]int32 `json:"pairs"`
+			Fanouts []int      `json:"fanouts,omitempty"`
+			Seed    uint64     `json:"seed,omitempty"`
+		}{Fanouts: g.fanouts, Seed: g.seed + uint64(i)}
+		for k := 0; k < npairs; k++ {
+			req.Pairs = append(req.Pairs, [2]int32{pick(), pick()})
+		}
+		body, _ = json.Marshal(req)
+	default: // predict, embed
+		req := struct {
+			Verts   []int32 `json:"vertices"`
+			Fanouts []int   `json:"fanouts,omitempty"`
+			Seed    uint64  `json:"seed,omitempty"`
+		}{Fanouts: g.fanouts, Seed: g.seed + uint64(i)}
+		seen := make(map[int32]bool, g.verts)
+		for len(req.Verts) < g.verts {
+			v := pick()
+			if !seen[v] {
+				seen[v] = true
+				req.Verts = append(req.Verts, v)
+			}
+			if len(seen) >= g.n {
+				break
+			}
+		}
+		body, _ = json.Marshal(req)
+	}
+	return "/" + endpoint, body
+}
+
+func parseMix(spec string) ([]mixEntry, error) {
+	valid := map[string]bool{"predict": true, "embed": true, "linkscore": true}
+	var entries []mixEntry
+	total := 0.0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix: %q is not endpoint=weight", part)
+		}
+		if !valid[k] {
+			return nil, fmt.Errorf("-mix: unknown endpoint %q (want predict, embed, linkscore)", k)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-mix: bad weight %q for %s", v, k)
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		entries = append(entries, mixEntry{endpoint: k, cum: total})
+	}
+	if len(entries) == 0 || total <= 0 {
+		return nil, fmt.Errorf("-mix: no endpoints with positive weight in %q", spec)
+	}
+	for i := range entries {
+		entries[i].cum /= total
+	}
+	entries[len(entries)-1].cum = 1
+	return entries, nil
+}
+
+func parseFanouts(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("-fanouts: bad entry %q", s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fetchStats(client *http.Client, base string) (*serve.Stats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats returned %s", resp.Status)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding /stats: %w", err)
+	}
+	if st.NumVertices <= 0 {
+		return nil, fmt.Errorf("/stats reports %d vertices", st.NumVertices)
+	}
+	return &st, nil
+}
+
+func post(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// percentile returns the p-quantile of sorted xs by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

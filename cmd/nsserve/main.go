@@ -1,0 +1,144 @@
+// Command nsserve answers online inference queries (predictions, embeddings,
+// link scores) over a trained model, with GLT-style decoupled extraction and
+// compute pools, micro-batching, and a byte-budgeted embedding cache.
+//
+// Serve a model trained and saved by nstrain:
+//
+//	nstrain -dataset cora -model gcn -epochs 30 -save-model /tmp/gcn.model
+//	nsserve -dataset cora -model gcn -load-model /tmp/gcn.model -addr :8090
+//
+// Or train in-process first, then serve the live parameters:
+//
+//	nsserve -dataset cora -model gcn -train 30 -addr :8090
+//
+// Endpoints: POST /predict /embed /linkscore (JSON), GET /stats /healthz
+// /metrics. Query it with curl or drive sustained load with nsload:
+//
+//	curl -s localhost:8090/predict -d '{"vertices":[0,1,2]}'
+//	nsload -addr localhost:8090 -requests 500 -concurrency 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"neutronstar"
+	"neutronstar/internal/obs"
+	"neutronstar/internal/serve"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "cora", "dataset name ("+strings.Join(neutronstar.DatasetNames(), ", ")+")")
+		model     = flag.String("model", "gcn", "model: gcn, gin, gat, sage (must match the saved model)")
+		layers    = flag.Int("layers", 0, "propagation depth L (0 = default 2; must match the saved model)")
+		workers   = flag.Int("workers", 1, "simulated cluster size for the backing session")
+		seed      = flag.Uint64("seed", 1, "session seed (also folded into sampled-query RNGs)")
+		loadModel = flag.String("load-model", "", "serve parameters from this file (written by nstrain -save-model)")
+		trainN    = flag.Int("train", 0, "train this many epochs in-process before serving")
+		lr        = flag.Float64("lr", 0.01, "learning rate for -train")
+
+		addr       = flag.String("addr", ":8090", "HTTP listen address")
+		maxBatch   = flag.Int("max-batch", 32, "micro-batch flush threshold in queried vertices")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush deadline")
+		cacheBytes = flag.Int64("cache-bytes", 8<<20, "embedding cache budget in bytes (0 disables)")
+		extractW   = flag.Int("extract-workers", 2, "extraction (graph walk) pool size")
+		computeW   = flag.Int("compute-workers", 2, "compute (NN forward) pool size")
+
+		logJSON  = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	log := obs.NewLogger(os.Stdout).WithJSON(*logJSON)
+	log.SetLevel(obs.ParseLevel(*logLevel))
+	fail := func(err error) {
+		log.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	if *loadModel == "" && *trainN <= 0 {
+		fail(fmt.Errorf("need a model: pass -load-model FILE or -train EPOCHS"))
+	}
+
+	ds, err := neutronstar.LoadDataset(*dsName)
+	if err != nil {
+		fail(err)
+	}
+	log.Info("dataset loaded", "dataset", ds.Name(),
+		"vertices", ds.NumVertices(), "edges", ds.NumEdges())
+
+	s, err := neutronstar.NewSession(ds, neutronstar.Config{
+		Workers: *workers,
+		Model:   neutronstar.ModelKind(*model),
+		Layers:  *layers,
+		LR:      *lr,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer s.Close()
+
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.LoadModel(f); err != nil {
+			fail(fmt.Errorf("loading %s (does -model/-layers match how it was trained?): %w", *loadModel, err))
+		}
+		f.Close()
+		log.Info("model loaded", "path", *loadModel, "model", *model)
+	}
+	if *trainN > 0 {
+		eps := s.Train(*trainN)
+		last := eps[len(eps)-1]
+		log.Info("trained", "epochs", *trainN, "final_loss", last.Loss,
+			"test_accuracy", s.Accuracy(neutronstar.SplitTest))
+	}
+
+	cfg := s.ServeConfig()
+	cfg.MaxBatch = *maxBatch
+	cfg.MaxWait = *maxWait
+	cfg.CacheBytes = *cacheBytes
+	cfg.ExtractWorkers = *extractW
+	cfg.ComputeWorkers = *computeW
+	cfg.Seed = *seed
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+	log.Info("serving", "addr", ln.Addr().String(), "model", *model,
+		"version", srv.ModelVersion(), "max_batch", *maxBatch, "max_wait", maxWait.String(),
+		"cache_bytes", *cacheBytes, "extract_workers", *extractW, "compute_workers", *computeW,
+		"endpoints", "/predict /embed /linkscore /stats /healthz /metrics")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Info("shutting down")
+	_ = hs.Close()
+	srv.Close()
+	st := srv.Stats()
+	log.Info("served", "requests", st.Requests, "errors", st.Errors,
+		"batches", st.Batches, "cache_hits", st.Cache.Hits, "cache_misses", st.Cache.Misses)
+}

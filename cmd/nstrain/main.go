@@ -60,6 +60,7 @@ func main() {
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
 		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint cadence in epochs")
 		resume    = flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
+		saveModel = flag.String("save-model", "", "write the trained model parameters to this file for nsserve (gob)")
 		faultSpec = flag.String("fault-spec", "", "network fault injection, e.g. 'drop=0.05,jitter=1ms,seed=7'")
 		trace     = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
 		critPath  = flag.Bool("critpath", false, "record causal traces and report each epoch's critical path and stragglers")
@@ -103,9 +104,9 @@ func main() {
 		Network: neutronstar.NetworkKind(*network),
 		Layers:  *layers,
 		Ring:    *opt, LockFree: *opt, Overlap: *opt,
-		Pool:      *pool,
-		LR:        *lr,
-		Seed:      *seed,
+		Pool:       *pool,
+		LR:         *lr,
+		Seed:       *seed,
 		CkptDir:    *ckptDir,
 		CkptEvery:  *ckptEvery,
 		FaultSpec:  *faultSpec,
@@ -209,6 +210,19 @@ func main() {
 	log.Info("accuracy", "train", s.Accuracy(neutronstar.SplitTrain),
 		"val", s.Accuracy(neutronstar.SplitVal),
 		"test", s.Accuracy(neutronstar.SplitTest))
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.SaveModel(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		log.Info("model saved", "path", *saveModel, "model", *model)
+	}
 }
 
 // defaultPool reads the NS_POOL environment toggle: pooling is on unless

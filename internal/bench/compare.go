@@ -68,5 +68,28 @@ func Compare(base, cur *Doc, tol float64) []Delta {
 			}
 		}
 	}
+	regs = append(regs, compareServing(base.Serving, cur.Serving, tol)...)
+	return regs
+}
+
+// compareServing gates the serving axes when both documents carry a serving
+// block: p99 latency regresses upward, throughput regresses downward. Like
+// run matching, a serving block present on only one side is skipped — adding
+// serving coverage is not a regression.
+func compareServing(b, c *ServingSummary, tol float64) []Delta {
+	if b == nil || c == nil {
+		return nil
+	}
+	var regs []Delta
+	if d := (Delta{Run: "serving", Metric: "p99_latency_ms",
+		Old: b.P99LatencyMs, New: c.P99LatencyMs}); d.Ratio() > 1+tol {
+		regs = append(regs, d)
+	}
+	// Throughput is better-is-higher: regression when current falls below
+	// baseline by more than the tolerance.
+	if d := (Delta{Run: "serving", Metric: "qps",
+		Old: b.QPS, New: c.QPS}); b.QPS > 0 && c.QPS < b.QPS/(1+tol) {
+		regs = append(regs, d)
+	}
 	return regs
 }

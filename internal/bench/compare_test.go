@@ -81,3 +81,46 @@ func TestDeltaRatioZeroBaseline(t *testing.T) {
 		t.Fatal("0/0 ratio should be 1")
 	}
 }
+
+func TestCompareServingAxes(t *testing.T) {
+	base, cur := goldenDoc(), goldenDoc()
+
+	// Within tolerance: nothing flagged.
+	cur.Serving.P99LatencyMs = base.Serving.P99LatencyMs * 1.10
+	cur.Serving.QPS = base.Serving.QPS * 0.95
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("within-tolerance serving deltas flagged: %v", regs)
+	}
+
+	// p99 regresses upward.
+	cur = goldenDoc()
+	cur.Serving.P99LatencyMs = base.Serving.P99LatencyMs * 1.30
+	regs := Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "p99_latency_ms" {
+		t.Fatalf("p99 blow-up not flagged: %v", regs)
+	}
+
+	// QPS regresses downward.
+	cur = goldenDoc()
+	cur.Serving.QPS = base.Serving.QPS * 0.5
+	regs = Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "qps" {
+		t.Fatalf("throughput collapse not flagged: %v", regs)
+	}
+
+	// Faster and higher-throughput is never a regression.
+	cur = goldenDoc()
+	cur.Serving.P99LatencyMs = base.Serving.P99LatencyMs * 0.5
+	cur.Serving.QPS = base.Serving.QPS * 2
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("a serving improvement was flagged: %v", regs)
+	}
+
+	// Serving on one side only is skipped, like unmatched runs.
+	cur = goldenDoc()
+	cur.Serving.QPS = base.Serving.QPS * 0.1
+	base.Serving = nil
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("one-sided serving block compared: %v", regs)
+	}
+}

@@ -29,9 +29,13 @@ import (
 // v3 added causal metrics: Run.StragglerIndex, Run.BarrierShare and the
 // optional Run.CritPath (the critical path of the run's median epoch).
 //
+// v4 added the optional Doc.Serving block (online-inference load results from
+// nsload: QPS, latency percentiles, cache effectiveness) and allowed
+// serving-only documents with no training runs.
+//
 // Older tools reject newer documents (the version check is exact), so the
 // committed baseline must be regenerated on a bump.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // Host records where the document was produced. Comparisons across different
 // hosts are informational, not regressions.
@@ -151,12 +155,42 @@ type Run struct {
 	CritPath *obs.CritPath `json:"crit_path,omitempty"`
 }
 
+// ServingSummary is one nsload run against a serving endpoint: the online
+// inference counterpart of a training Run. Latencies are milliseconds.
+type ServingSummary struct {
+	// Mode is "closed" (fixed concurrency, next request on completion) or
+	// "open" (fixed arrival rate, independent of completions).
+	Mode string `json:"mode"`
+	// Workload shape: requests sent, how many failed, queried vertices per
+	// request, and the seed that pins the request mix.
+	Requests    int64  `json:"requests"`
+	Errors      int64  `json:"errors"`
+	VertsPerReq int    `json:"verts_per_req"`
+	Seed        uint64 `json:"seed"`
+	// Concurrency is the closed-loop worker count; RateQPS the open-loop
+	// target arrival rate (each zero in the other mode).
+	Concurrency     int     `json:"concurrency,omitempty"`
+	RateQPS         float64 `json:"rate_qps,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	QPS             float64 `json:"qps"`
+	P50LatencyMs    float64 `json:"p50_latency_ms"`
+	P99LatencyMs    float64 `json:"p99_latency_ms"`
+	MeanLatencyMs   float64 `json:"mean_latency_ms"`
+	// Cache effectiveness over the load window (deltas of the server's
+	// counters, so a warm server still reports this window's behaviour).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
 // Doc is the top-level BENCH.json document.
 type Doc struct {
 	SchemaVersion int       `json:"schema_version"`
 	Graph         GraphInfo `json:"graph"`
 	Host          Host      `json:"host"`
 	Runs          []Run     `json:"runs"`
+	// Serving carries online-inference load results (nsload); nil for
+	// training-only documents. A serving-only document may have no runs.
+	Serving *ServingSummary `json:"serving,omitempty"`
 }
 
 // Validate checks the structural contract benchdiff hard-fails on. It does
@@ -165,8 +199,23 @@ func (d *Doc) Validate() error {
 	if d.SchemaVersion != SchemaVersion {
 		return fmt.Errorf("bench: schema_version %d, this tool understands %d", d.SchemaVersion, SchemaVersion)
 	}
-	if len(d.Runs) == 0 {
+	if len(d.Runs) == 0 && d.Serving == nil {
 		return fmt.Errorf("bench: document has no runs")
+	}
+	if s := d.Serving; s != nil {
+		if s.Mode != "open" && s.Mode != "closed" {
+			return fmt.Errorf("bench: serving mode %q (want open or closed)", s.Mode)
+		}
+		if s.Requests <= 0 {
+			return fmt.Errorf("bench: serving requests = %d", s.Requests)
+		}
+		if s.QPS <= 0 {
+			return fmt.Errorf("bench: serving qps = %g", s.QPS)
+		}
+		if s.P50LatencyMs < 0 || s.P99LatencyMs < s.P50LatencyMs {
+			return fmt.Errorf("bench: serving latency percentiles p50=%g p99=%g",
+				s.P50LatencyMs, s.P99LatencyMs)
+		}
 	}
 	known := make(map[string]bool)
 	for _, s := range obs.StageNames() {

@@ -78,6 +78,12 @@ func goldenDoc() *Doc {
 				},
 			},
 		},
+		Serving: &ServingSummary{
+			Mode: "closed", Requests: 400, Errors: 0, VertsPerReq: 4, Seed: 7,
+			Concurrency: 8, DurationSeconds: 1.6, QPS: 250,
+			P50LatencyMs: 2.1, P99LatencyMs: 9.8, MeanLatencyMs: 2.9,
+			CacheHits: 5200, CacheMisses: 800,
+		},
 	}
 }
 
@@ -123,7 +129,11 @@ func TestValidateRejectsMalformedDocs(t *testing.T) {
 		wantErr string
 	}{
 		{"wrong schema version", func(d *Doc) { d.SchemaVersion = 99 }, "schema_version"},
-		{"no runs", func(d *Doc) { d.Runs = nil }, "no runs"},
+		{"no runs", func(d *Doc) { d.Runs = nil; d.Serving = nil }, "no runs"},
+		{"bad serving mode", func(d *Doc) { d.Serving.Mode = "burst" }, "serving mode"},
+		{"zero serving requests", func(d *Doc) { d.Serving.Requests = 0 }, "serving requests"},
+		{"zero serving qps", func(d *Doc) { d.Serving.QPS = 0 }, "serving qps"},
+		{"inverted percentiles", func(d *Doc) { d.Serving.P99LatencyMs = 1 }, "percentiles"},
 		{"unnamed run", func(d *Doc) { d.Runs[0].Name = "" }, "no name"},
 		{"duplicate names", func(d *Doc) { d.Runs[1].Name = d.Runs[0].Name }, "duplicate"},
 		{"zero workers", func(d *Doc) { d.Runs[0].Workers = 0 }, "workers"},
@@ -153,6 +163,16 @@ func TestValidateRejectsMalformedDocs(t *testing.T) {
 
 func TestValidateAcceptsGolden(t *testing.T) {
 	if err := goldenDoc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A serving-only document (nsload output with no training runs) is valid as
+// of schema v4.
+func TestValidateAcceptsServingOnlyDoc(t *testing.T) {
+	d := goldenDoc()
+	d.Runs = nil
+	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
 }

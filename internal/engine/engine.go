@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neutronstar/internal/ckpt"
@@ -164,6 +165,10 @@ type Engine struct {
 	history []EpochStats
 	// predicts counts inference passes for message-tag uniqueness.
 	predicts int
+	// paramVersion counts parameter mutations (optimiser steps, LoadModel,
+	// Restore). Serving caches key their freshness off it: any bump means
+	// previously computed embeddings may be stale.
+	paramVersion atomic.Uint64
 
 	// PreprocessTime is the hybrid dependency-partitioning time (Table 3's
 	// "Preprocessing" row).
@@ -359,6 +364,7 @@ func (e *Engine) RunEpoch() EpochStats {
 		count += r.count
 	}
 	e.epoch++
+	e.paramVersion.Add(1)
 	st := EpochStats{Epoch: e.epoch, Duration: wall}
 	if count > 0 {
 		st.Loss = lossSum / float64(count)
@@ -515,5 +521,26 @@ func (e *Engine) LoadModel(r io.Reader) error {
 			return err
 		}
 	}
+	e.paramVersion.Add(1)
 	return nil
+}
+
+// ParamVersion returns the parameter mutation counter: it advances on every
+// optimiser step (once per epoch), LoadModel and Restore. A serving layer
+// sharing this engine compares versions to decide when its embedding caches
+// went stale. Safe to call concurrently.
+func (e *Engine) ParamVersion() uint64 { return e.paramVersion.Load() }
+
+// CloneModel builds a fresh model of the engine's architecture carrying a
+// copy of the current parameters — a serving-side snapshot that stays stable
+// while training mutates the replicas. Call it between epochs (the engine is
+// externally synchronous), like Snapshot.
+func (e *Engine) CloneModel() *nn.Model {
+	m := nn.MustNewModel(e.opts.Model, e.dims, e.opts.Dropout, e.opts.Seed+7)
+	src := e.states[0].model.Params()
+	dst := m.Params()
+	for i := range dst {
+		dst[i].Value.CopyFrom(src[i].Value)
+	}
+	return m
 }

@@ -127,6 +127,7 @@ func (e *Engine) Restore(snap *ckpt.Snapshot) error {
 		}
 		ws.rng.SetState(sw.RNGState)
 	}
+	e.paramVersion.Add(1)
 	e.epoch = snap.Epoch
 	e.history = e.history[:0]
 	for _, h := range snap.History {

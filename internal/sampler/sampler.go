@@ -39,6 +39,11 @@ func (b *Block) NumEdges() int { return len(b.SrcIdx) }
 // fanouts[0] to the deepest hop, matching a DGL fanout list ordered from
 // input layer to output layer. Blocks are returned input-first: blocks[0]
 // consumes raw features, blocks[len-1] produces the seed representations.
+//
+// rng is mutated on every draw and must not be shared across goroutines: a
+// training loop hands its epoch RNG in, a concurrent serving path must give
+// each request its own (see SampleSeeded). Two calls with identically seeded
+// RNGs and equal inputs produce identical blocks.
 func Sample(g *graph.Graph, seeds []int32, fanouts []int, rng *tensor.RNG) []*Block {
 	L := len(fanouts)
 	blocks := make([]*Block, L)
@@ -83,6 +88,24 @@ func Sample(g *graph.Graph, seeds []int32, fanouts []int, rng *tensor.RNG) []*Bl
 		frontier = b.Srcs
 	}
 	return blocks
+}
+
+// SampleSeeded is Sample with a private RNG seeded from seed: the race-free
+// form for concurrent callers. An online serving path derives seed from the
+// request id, making every inductive query individually reproducible no
+// matter how requests interleave.
+func SampleSeeded(g *graph.Graph, seeds []int32, fanouts []int, seed uint64) []*Block {
+	return Sample(g, seeds, fanouts, tensor.NewRNG(seed))
+}
+
+// Pick samples up to fanout elements of nbrs without replacement using a
+// partial Fisher-Yates shuffle over a copy. When the list is already within
+// the fanout it is returned as-is — callers must not mutate the result. It
+// is the sampling primitive Sample applies per destination, exported for
+// paths that sample over frontiers Sample cannot see (e.g. a serving
+// overlay's virtual vertices).
+func Pick(nbrs []int32, fanout int, rng *tensor.RNG) []int32 {
+	return pick(nbrs, fanout, rng)
 }
 
 // pick samples up to fanout elements of nbrs without replacement. When the

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// batcher is the latency/throughput micro-batcher between the HTTP front
+// and the extraction pool. Requests accumulate until either the pending
+// batch covers maxBatch queried vertices or the oldest request has waited
+// maxWait — whichever fires first — then flush as one job. Batching
+// amortises the per-batch extraction walk and the per-layer GEMMs over many
+// queries; maxWait bounds the latency a lone request pays for it.
+//
+// Flushing is equivalence-preserving: every per-vertex computation uses only
+// that vertex's own in-neighbor group, so a query answered in a batch of 64
+// returns the same float32 rows as the same query answered alone.
+type batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	flush    func([]*work)
+
+	mu      sync.Mutex
+	pending []*work
+	// verts counts queried vertices (not requests) in pending: a request
+	// covering many vertices fills a batch faster than many singletons.
+	verts  int
+	timer  *time.Timer
+	closed bool
+}
+
+func newBatcher(maxBatch int, maxWait time.Duration, flush func([]*work)) *batcher {
+	return &batcher{maxBatch: maxBatch, maxWait: maxWait, flush: flush}
+}
+
+// Submit enqueues one request. It flushes inline when the batch fills, so
+// the flush callback must not call Submit re-entrantly.
+func (b *batcher) Submit(w *work) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("serve: server closed")
+	}
+	b.pending = append(b.pending, w)
+	b.verts += w.req.numQueries()
+	var items []*work
+	if b.verts >= b.maxBatch {
+		items = b.take()
+	} else if len(b.pending) == 1 {
+		b.timer = time.AfterFunc(b.maxWait, b.timedFlush)
+	}
+	b.mu.Unlock()
+	if items != nil {
+		b.flush(items)
+	}
+	return nil
+}
+
+// take detaches the pending batch and disarms the timer. Callers hold mu.
+func (b *batcher) take() []*work {
+	items := b.pending
+	b.pending = nil
+	b.verts = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return items
+}
+
+// timedFlush fires when the oldest pending request has waited maxWait.
+func (b *batcher) timedFlush() {
+	b.mu.Lock()
+	items := b.take()
+	b.mu.Unlock()
+	if len(items) > 0 {
+		b.flush(items)
+	}
+}
+
+// Close flushes whatever is pending and rejects further submissions. A
+// shutdown with nothing pending flushes nothing — an empty flush is never
+// delivered downstream.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	items := b.take()
+	b.mu.Unlock()
+	if len(items) > 0 {
+		b.flush(items)
+	}
+}

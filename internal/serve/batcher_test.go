@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type flushLog struct {
+	mu      sync.Mutex
+	batches [][]*work
+}
+
+func (l *flushLog) flush(items []*work) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.batches = append(l.batches, items)
+}
+
+func (l *flushLog) snapshot() [][]*work {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([][]*work(nil), l.batches...)
+}
+
+func workOf(verts ...int32) *work {
+	return &work{req: &Request{Verts: verts}, done: make(chan struct{})}
+}
+
+// An idle shutdown must not deliver an empty flush downstream.
+func TestBatcherCloseEmptyNeverFlushes(t *testing.T) {
+	var log flushLog
+	b := newBatcher(8, time.Hour, log.flush)
+	b.Close()
+	if got := log.snapshot(); len(got) != 0 {
+		t.Fatalf("empty close flushed %d batches", len(got))
+	}
+	if err := b.Submit(workOf(1)); err == nil {
+		t.Fatal("submit accepted after Close")
+	}
+}
+
+// A lone request must flush after maxWait even though the batch never fills.
+func TestBatcherMaxWaitFlushesSingleRequest(t *testing.T) {
+	var log flushLog
+	b := newBatcher(1000, 5*time.Millisecond, log.flush)
+	if err := b.Submit(workOf(7)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := log.snapshot(); len(got) == 1 {
+			if len(got[0]) != 1 || got[0][0].req.Verts[0] != 7 {
+				t.Fatalf("wrong flush contents: %+v", got[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("max-wait flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+}
+
+// Reaching maxBatch exactly flushes inline, immediately, without the timer.
+func TestBatcherFlushesAtExactMaxBatch(t *testing.T) {
+	var log flushLog
+	b := newBatcher(4, time.Hour, log.flush)
+	for i := 0; i < 4; i++ {
+		if err := b.Submit(workOf(int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := log.snapshot()
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("batches after 4 singleton submits at maxBatch=4: %d", len(got))
+	}
+	// The next submit starts a fresh batch — nothing flushed yet.
+	if err := b.Submit(workOf(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.snapshot(); len(got) != 1 {
+		t.Fatalf("fresh batch flushed early: %d batches", len(got))
+	}
+	b.Close()
+	if got := log.snapshot(); len(got) != 2 || len(got[1]) != 1 {
+		t.Fatalf("close did not flush the pending request: %+v", got)
+	}
+}
+
+// One request larger than maxBatch still forms exactly one batch — requests
+// are never split — and flushes immediately.
+func TestBatcherOversizedRequestIsOneBatch(t *testing.T) {
+	var log flushLog
+	b := newBatcher(4, time.Hour, log.flush)
+	if err := b.Submit(workOf(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	got := log.snapshot()
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("oversized request: %d batches of %d requests", len(got), len(got[0]))
+	}
+	if n := got[0][0].req.numQueries(); n != 10 {
+		t.Fatalf("flushed request has %d queries", n)
+	}
+	b.Close()
+}
+
+// Vertices, not requests, fill the batch: two 3-vertex requests cross a
+// 6-vertex threshold.
+func TestBatcherCountsVerticesNotRequests(t *testing.T) {
+	var log flushLog
+	b := newBatcher(6, time.Hour, log.flush)
+	if err := b.Submit(workOf(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.snapshot(); len(got) != 0 {
+		t.Fatal("flushed below the vertex threshold")
+	}
+	if err := b.Submit(workOf(4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	got := log.snapshot()
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("vertex-count flush: %+v", got)
+	}
+	b.Close()
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"neutronstar/internal/tensor"
+)
+
+// Handler returns the serving HTTP API:
+//
+//	POST /predict    Request JSON -> per-query argmax labels + logit rows
+//	POST /embed      Request JSON -> per-query penultimate-layer embeddings
+//	POST /linkscore  pairs of vertices -> sigmoid(dot) link scores
+//	GET  /stats      live Stats JSON
+//	GET  /healthz    200 "ok" liveness probe
+//	GET  /metrics    Prometheus text exposition of the configured registry
+//
+// /metrics and /healthz mirror the obs debug server's endpoints so the same
+// scrape configs work against a serving process.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/embed", s.handleEmbed)
+	mux.HandleFunc("/linkscore", s.handleLinkScore)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.cfg.Registry.WritePrometheus(w)
+	})
+	return mux
+}
+
+// PredictResponse answers /predict.
+type PredictResponse struct {
+	ModelVersion uint64      `json:"model_version"`
+	Labels       []int       `json:"labels"`
+	Logits       [][]float32 `json:"logits"`
+}
+
+// EmbedResponse answers /embed.
+type EmbedResponse struct {
+	ModelVersion uint64      `json:"model_version"`
+	Embeddings   [][]float32 `json:"embeddings"`
+}
+
+// LinkRequest asks /linkscore for edge-existence scores: score k is
+// sigmoid(dot(embed(Pairs[k][0]), embed(Pairs[k][1]))), the decoder the link
+// prediction example trains against.
+type LinkRequest struct {
+	Pairs   [][2]int32 `json:"pairs"`
+	Fanouts []int      `json:"fanouts,omitempty"`
+	Seed    uint64     `json:"seed,omitempty"`
+}
+
+// LinkResponse answers /linkscore.
+type LinkResponse struct {
+	ModelVersion uint64    `json:"model_version"`
+	Scores       []float64 `json:"scores"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Query(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := PredictResponse{
+		ModelVersion: res.Version,
+		Labels:       argmaxRows(res.Logits),
+		Logits:       copyRows(res.Logits),
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Query(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, EmbedResponse{ModelVersion: res.Version, Embeddings: copyRows(res.Embeds)})
+}
+
+func (s *Server) handleLinkScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var lr LinkRequest
+	if err := json.NewDecoder(r.Body).Decode(&lr); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(lr.Pairs) == 0 {
+		http.Error(w, "serve: empty pairs", http.StatusBadRequest)
+		return
+	}
+	// Query each distinct endpoint once; score from the embedding rows.
+	pos := make(map[int32]int)
+	var verts []int32
+	for _, p := range lr.Pairs {
+		for _, v := range p {
+			if _, ok := pos[v]; !ok {
+				pos[v] = len(verts)
+				verts = append(verts, v)
+			}
+		}
+	}
+	res, err := s.Query(&Request{Verts: verts, Fanouts: lr.Fanouts, Seed: lr.Seed})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := LinkResponse{ModelVersion: res.Version, Scores: make([]float64, len(lr.Pairs))}
+	for k, p := range lr.Pairs {
+		a, b := res.Embeds.Row(pos[p[0]]), res.Embeds.Row(pos[p[1]])
+		var dot float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+		}
+		out.Scores[k] = 1 / (1 + math.Exp(-dot))
+	}
+	writeJSON(w, out)
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad request: %v", err), http.StatusBadRequest)
+		return nil, false
+	}
+	return &req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func argmaxRows(t *tensor.Tensor) []int {
+	out := make([]int, t.Rows())
+	for r := 0; r < t.Rows(); r++ {
+		row := t.Row(r)
+		best := 0
+		for c, v := range row {
+			if v > row[best] {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+func copyRows(t *tensor.Tensor) [][]float32 {
+	out := make([][]float32, t.Rows())
+	for r := 0; r < t.Rows(); r++ {
+		out[r] = append([]float32(nil), t.Row(r)...)
+	}
+	return out
+}

@@ -44,6 +44,7 @@ import (
 	"neutronstar/internal/nn"
 	"neutronstar/internal/obs"
 	"neutronstar/internal/partition"
+	"neutronstar/internal/serve"
 	"neutronstar/internal/tensor"
 )
 
@@ -750,6 +751,23 @@ func (s *Session) Metrics() *metrics.Collector { return s.coll }
 
 // Close tears down the simulated cluster.
 func (s *Session) Close() { s.eng.Close() }
+
+// ServeSource exposes the session's live parameters as a model source for a
+// serve.Server: the version advances with every optimiser step (and on
+// LoadModel/Restore), so a co-located serving path invalidates its embedding
+// cache exactly when training moves the parameters.
+func (s *Session) ServeSource() serve.Source { return serve.EngineSource(s.eng) }
+
+// ServeConfig returns a serve.Config pre-filled with the session's graph,
+// feature matrix and live model source. Callers set pool sizes, batching and
+// cache budget before handing it to serve.New.
+func (s *Session) ServeConfig() serve.Config {
+	return serve.Config{
+		Graph:    s.ds.inner.Graph,
+		Features: s.ds.inner.Features,
+		Source:   serve.EngineSource(s.eng),
+	}
+}
 
 // SaveModel writes the current model parameters to w (gob encoding).
 func (s *Session) SaveModel(w io.Writer) error { return s.eng.SaveModel(w) }
