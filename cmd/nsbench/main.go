@@ -16,6 +16,7 @@
 // trace of the bench engines with cross-worker flow arrows:
 //
 //	nsbench -json BENCH.json -workers 4 -trace trace.json -critpath critpath.json
+//	nsbench -json BENCH.json -workers 4 -policy deptp
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		graphs    = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
 		quick     = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
 		jsonOut   = flag.String("json", "", "write the perf-smoke BENCH.json document to this path and exit (ignores -exp)")
+		policy    = flag.String("policy", "", "with -json, add an extra <policy>-wN run to the pipeline (depcache, depcomm, hybrid, deptp, hybrid3)")
 		trace     = flag.String("trace", "", "write a Chrome trace of all experiment (or, with -json, bench) engines to this file")
 		critPath  = flag.String("critpath", "", "with -json, also write the per-run critical-path report to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
@@ -52,11 +54,15 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchDoc(*jsonOut, *workers, *trace, *critPath); err != nil {
+		if err := writeBenchDoc(*jsonOut, *workers, *trace, *critPath, *policy); err != nil {
 			fmt.Fprintln(os.Stderr, "nsbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *policy != "" {
+		fmt.Fprintln(os.Stderr, "nsbench: -policy requires -json (it extends the perf-smoke run set)")
+		os.Exit(2)
 	}
 	if *exp == "" {
 		flag.Usage()
@@ -146,12 +152,28 @@ func main() {
 // different commits are comparable; only the cluster size is adjustable.
 // tracePath and critPathOut, when non-empty, additionally emit a Chrome
 // trace of the bench engines and a standalone critical-path report.
-func writeBenchDoc(path string, workers int, tracePath, critPathOut string) error {
+func writeBenchDoc(path string, workers int, tracePath, critPathOut, policy string) error {
 	if workers <= 0 {
 		workers = 4
 	}
 	ds := dataset.Load(bench.BenchSpec())
 	specs := bench.DefaultRuns(workers)
+	if policy != "" {
+		extra, err := bench.PolicyRun(policy, workers)
+		if err != nil {
+			return err
+		}
+		dup := false
+		for _, s := range specs {
+			if s.Name == extra.Name {
+				dup = true // already in the default set; don't run it twice
+				break
+			}
+		}
+		if !dup {
+			specs = append(specs, extra)
+		}
+	}
 	var coll *metrics.Collector
 	if tracePath != "" {
 		coll = metrics.NewCollector()

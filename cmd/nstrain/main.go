@@ -47,7 +47,7 @@ import (
 func main() {
 	var (
 		dsName    = flag.String("dataset", "cora", "dataset name ("+strings.Join(neutronstar.DatasetNames(), ", ")+")")
-		engName   = flag.String("engine", "hybrid", "engine: depcache, depcomm, hybrid")
+		engName   = flag.String("engine", "hybrid", "engine: depcache, depcomm, hybrid, deptp, hybrid3")
 		model     = flag.String("model", "gcn", "model: gcn, gin, gat")
 		workers   = flag.Int("workers", 4, "simulated cluster size")
 		epochs    = flag.Int("epochs", 30, "training epochs")

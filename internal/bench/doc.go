@@ -98,10 +98,15 @@ type ResidualSummary struct {
 	// Max absolute per-layer residuals, (meas−pred)/pred.
 	MaxAbsComputeResidual float64 `json:"max_abs_compute_residual"`
 	MaxAbsCommResidual    float64 `json:"max_abs_comm_residual"`
-	// Counterfactual plan diff: decisions that flip when Algorithm 4 runs
-	// under the fitted factors instead of the probed ones.
+	// Counterfactual plan diff: decisions that flip when the planner runs
+	// under the fitted factors instead of the probed ones. The per-dependency
+	// counters cover cache↔comm moves; the per-layer counters cover moves
+	// into and out of tensor parallelism under the 3-way planner (additive
+	// within schema v4 — absent on documents from older binaries).
 	FlipsCacheToComm int `json:"flips_cache_to_comm"`
 	FlipsCommToCache int `json:"flips_comm_to_cache"`
+	FlipsToTP        int `json:"flips_to_tp,omitempty"`
+	FlipsFromTP      int `json:"flips_from_tp,omitempty"`
 	Slots            int `json:"slots"`
 }
 

@@ -51,7 +51,8 @@ func goldenDoc() *Doc {
 					Probed:                FactorSet{Tv: 1e-8, Te: 2e-9, Tc: 5e-9},
 					Fitted:                FactorSet{Tv: 1.1e-8, Te: 2.2e-9, Tc: 6e-9},
 					MaxAbsComputeResidual: 0.08, MaxAbsCommResidual: 0.15,
-					FlipsCacheToComm: 3, FlipsCommToCache: 0, Slots: 420,
+					FlipsCacheToComm: 3, FlipsCommToCache: 0,
+					FlipsToTP: 1, FlipsFromTP: 0, Slots: 420,
 				},
 				StragglerIndex: 1.18, BarrierShare: 0.06,
 				CritPath: &obs.CritPath{

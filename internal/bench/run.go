@@ -46,19 +46,37 @@ func BenchSpec() dataset.Spec {
 	}
 }
 
-// DefaultRuns covers the three dependency policies — the hybrid plan and the
+// DefaultRuns covers the dependency policies — the hybrid plan and the
 // all-communicate plan at the requested cluster size (both exercise the
-// fabric), and the all-cache plan on one worker (which must move zero bytes) —
-// plus an unpooled hybrid run so the document itself witnesses what the
-// tensor pool saves (compare allocs_per_epoch between hybrid-wN and
-// hybrid-wN-nopool).
+// fabric), the all-cache plan on one worker (which must move zero bytes),
+// and the 3-way plan, whose document rows witness the tensor-parallel
+// collectives' exactly-once byte attribution — plus an unpooled hybrid run
+// so the document itself witnesses what the tensor pool saves (compare
+// allocs_per_epoch between hybrid-wN and hybrid-wN-nopool).
 func DefaultRuns(workers int) []RunSpec {
 	return []RunSpec{
 		{Name: fmt.Sprintf("hybrid-w%d", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5, Pool: true},
 		{Name: fmt.Sprintf("hybrid-w%d-nopool", workers), Mode: engine.Hybrid, Workers: workers, Warmup: 1, Epochs: 5},
 		{Name: fmt.Sprintf("depcomm-w%d", workers), Mode: engine.DepComm, Workers: workers, Warmup: 1, Epochs: 5, Pool: true},
 		{Name: "depcache-w1", Mode: engine.DepCache, Workers: 1, Warmup: 1, Epochs: 5, Pool: true},
+		{Name: fmt.Sprintf("hybrid3-w%d", workers), Mode: engine.Hybrid3, Workers: workers, Warmup: 1, Epochs: 5, Pool: true},
 	}
+}
+
+// PolicyRun builds one extra pinned-shape run for a named policy (the nsbench
+// -policy flag), matching the DefaultRuns epoch/pool shape so its rows are
+// comparable against the defaults.
+func PolicyRun(policy string, workers int) (RunSpec, error) {
+	mode := engine.Mode(policy)
+	switch mode {
+	case engine.DepCache, engine.DepComm, engine.Hybrid, engine.DepTP, engine.Hybrid3:
+	default:
+		return RunSpec{}, fmt.Errorf("bench: unknown policy %q", policy)
+	}
+	return RunSpec{
+		Name: fmt.Sprintf("%s-w%d", policy, workers), Mode: mode,
+		Workers: workers, Warmup: 1, Epochs: 5, Pool: true,
+	}, nil
 }
 
 // Execute runs every spec on ds and assembles the document.
@@ -234,6 +252,8 @@ func summarize(eng *engine.Engine, spec RunSpec, recs []obs.EpochRecord, finalLo
 			Fitted:           FactorSet{Tv: cr.Fitted.Tv, Te: cr.Fitted.Te, Tc: cr.Fitted.Tc},
 			FlipsCacheToComm: cr.Flips.CacheToComm,
 			FlipsCommToCache: cr.Flips.CommToCache,
+			FlipsToTP:        cr.Flips.ToTP,
+			FlipsFromTP:      cr.Flips.FromTP,
 			Slots:            cr.Flips.Slots,
 		}
 		for _, lr := range cr.Layers {

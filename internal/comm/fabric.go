@@ -34,6 +34,11 @@ const (
 	KindSample
 	// KindBlock carries a whole-partition block (ROC baseline).
 	KindBlock
+	// KindSlice carries tensor-parallel slice-exchange blocks (DepTP
+	// traffic): feature-dimension shards and owner-block row ranges moved by
+	// the re-gather/re-scatter collectives. Seq distinguishes the collective
+	// phase within a layer (see StageOfMsg).
+	KindSlice
 )
 
 // String returns the kind's protocol name (used as a metric label).
@@ -49,6 +54,8 @@ func (k MsgKind) String() string {
 		return "sample"
 	case KindBlock:
 		return "block"
+	case KindSlice:
+		return "slice"
 	default:
 		return "unknown"
 	}

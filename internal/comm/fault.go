@@ -89,7 +89,7 @@ func (s *FaultSpec) Rule(k MsgKind) FaultRule {
 
 var kindByName = map[string]MsgKind{
 	"rep": KindRep, "grad": KindGrad, "allreduce": KindAllReduce,
-	"sample": KindSample, "block": KindBlock,
+	"sample": KindSample, "block": KindBlock, "slice": KindSlice,
 }
 
 // ParseFaultSpec parses the fault grammar documented above. An empty spec
@@ -123,7 +123,7 @@ func ParseFaultSpec(spec string) (*FaultSpec, error) {
 		if kindName, field, qualified := strings.Cut(key, "."); qualified {
 			kind, ok := kindByName[kindName]
 			if !ok {
-				return nil, fmt.Errorf("comm: unknown message kind %q in fault clause %q (kinds: rep, grad, allreduce, sample, block)", kindName, clause)
+				return nil, fmt.Errorf("comm: unknown message kind %q in fault clause %q (kinds: rep, grad, allreduce, sample, block, slice)", kindName, clause)
 			}
 			overrides = append(overrides, override{kind: kind, key: field, val: val})
 			continue
@@ -222,7 +222,7 @@ func (s *FaultSpec) String() string {
 		}
 	}
 	add("", s.Default)
-	for _, k := range []MsgKind{KindRep, KindGrad, KindAllReduce, KindSample, KindBlock} {
+	for _, k := range []MsgKind{KindRep, KindGrad, KindAllReduce, KindSample, KindBlock, KindSlice} {
 		if r, ok := s.PerKind[k]; ok {
 			add(k.String()+".", r)
 		}

@@ -105,7 +105,7 @@ func BenchmarkBuildPlans(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := buildPlans(ds.Graph, e.part, e.decs, dims); err != nil {
+		if _, err := buildPlans(ds.Graph, e.part, e.decs, dims, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"neutronstar/internal/costmodel"
 	"neutronstar/internal/hybrid"
+	"neutronstar/internal/nn"
 	"neutronstar/internal/obs"
 )
 
@@ -31,6 +32,9 @@ type LayerResidual struct {
 	EdgeOps   int64 `json:"edge_ops"`
 	// RecvRows is the number of dependency rows fetched over the network.
 	RecvRows int64 `json:"recv_rows"`
+	// RecvElems is the slice-exchange collective element volume of
+	// tensor-parallel layers (zero elsewhere).
+	RecvElems int64 `json:"recv_elems"`
 	// Compute: prediction is (VertexOps·Tv + EdgeOps·Te)·d^(l) (the Eq. 1
 	// work terms); measurement is the forward+backward stage seconds.
 	PredComputeSeconds float64 `json:"pred_compute_seconds"`
@@ -66,6 +70,9 @@ type layerWork struct {
 	vertexOps int64
 	edgeOps   int64
 	recvRows  int64
+	// recvElems is the tensor-parallel slice-exchange volume (elements, not
+	// rows: TP messages are column slices of varying width).
+	recvElems int64
 }
 
 func (e *Engine) layerWorks() []layerWork {
@@ -73,6 +80,25 @@ func (e *Engine) layerWorks() []layerWork {
 	works := make([]layerWork, L)
 	for _, p := range e.plans {
 		for l := 0; l < L; l++ {
+			if tp := p.tpLayers[l]; tp != nil {
+				sh := tp.shared
+				nOwned := len(p.owned)
+				d := e.dims[l]
+				width := int(tp.colStart[p.id+1] - tp.colStart[p.id])
+				works[l].vertexOps += int64(nOwned)
+				if sh.slice {
+					// The edge stage covers all |E| edges at width/d of the
+					// feature dimension: charge the pro-rated edge work.
+					if d > 0 {
+						works[l].edgeOps += int64(len(sh.srcRow)) * int64(width) / int64(d)
+					}
+				} else {
+					works[l].edgeOps += int64(len(tp.full.srcRow))
+				}
+				works[l].recvElems += costmodel.TPVolume(sh.slice, l == 0,
+					len(sh.globalRow), nOwned, d, width)
+				continue
+			}
 			lp := &p.layers[l]
 			works[l].vertexOps += int64(lp.owned.numDst() + lp.cached.numDst())
 			works[l].edgeOps += int64(len(lp.owned.srcRow) + len(lp.cached.srcRow))
@@ -143,10 +169,12 @@ func (e *Engine) CostReportFrom(recs []obs.EpochRecord) *CostReport {
 		rep.FitMethod = "scaled"
 	}
 
-	// Fit empirical Tc as comm seconds per communicated element.
+	// Fit empirical Tc as comm seconds per communicated element — dependency
+	// rows at their layer width plus TP collective volume.
 	var commElems, commSeconds float64
 	for l := 1; l <= L; l++ {
-		commElems += float64(works[l-1].recvRows) * float64(e.dims[l-1])
+		commElems += float64(works[l-1].recvRows)*float64(e.dims[l-1]) +
+			float64(works[l-1].recvElems)
 		commSeconds += measComm[l]
 	}
 	if commElems > 0 && commSeconds > 0 {
@@ -156,11 +184,13 @@ func (e *Engine) CostReportFrom(recs []obs.EpochRecord) *CostReport {
 	for l := 1; l <= L; l++ {
 		w := works[l-1]
 		lr := LayerResidual{
-			Layer: l, VertexOps: w.vertexOps, EdgeOps: w.edgeOps, RecvRows: w.recvRows,
+			Layer: l, VertexOps: w.vertexOps, EdgeOps: w.edgeOps,
+			RecvRows: w.recvRows, RecvElems: w.recvElems,
 			PredComputeSeconds: (float64(w.vertexOps)*e.costs.Tv + float64(w.edgeOps)*e.costs.Te) * float64(e.dims[l]),
 			MeasComputeSeconds: measCompute[l],
-			PredCommSeconds:    float64(w.recvRows) * e.costs.CommCost(e.dims[l-1]),
-			MeasCommSeconds:    measComm[l],
+			PredCommSeconds: float64(w.recvRows)*e.costs.CommCost(e.dims[l-1]) +
+				e.costs.TPCost(w.recvElems),
+			MeasCommSeconds: measComm[l],
 		}
 		if lr.PredComputeSeconds > 0 {
 			lr.ComputeResidual = (lr.MeasComputeSeconds - lr.PredComputeSeconds) / lr.PredComputeSeconds
@@ -180,16 +210,23 @@ func (e *Engine) CostReportFrom(recs []obs.EpochRecord) *CostReport {
 // relative to training) so the comparison is policy-to-policy regardless of
 // the engine's actual mode.
 func (e *Engine) counterfactualFlips(fitted costmodel.Costs) hybrid.FlipReport {
+	// Engines planned with the 3-way family re-plan 3-way, so the
+	// counterfactual can also report flips into or out of tensor parallelism.
+	mode := hybrid.ModeHybrid
+	if e.opts.Mode == DepTP || e.opts.Mode == Hybrid3 {
+		mode = hybrid.ModeHybrid3
+	}
+	sliceTP := nn.SliceSeparable(e.opts.Model)
 	base := &hybrid.Planner{
 		Graph: e.ds.Graph, Part: e.part, Dims: e.dims,
-		Costs: e.costs, MemBudget: e.opts.MemBudget,
+		Costs: e.costs, MemBudget: e.opts.MemBudget, SliceTP: sliceTP,
 	}
 	alt := &hybrid.Planner{
 		Graph: e.ds.Graph, Part: e.part, Dims: e.dims,
-		Costs: fitted, MemBudget: e.opts.MemBudget,
+		Costs: fitted, MemBudget: e.opts.MemBudget, SliceTP: sliceTP,
 	}
-	planA, errA := base.DecideAll(hybrid.ModeHybrid)
-	planB, errB := alt.DecideAll(hybrid.ModeHybrid)
+	planA, errA := base.DecideAll(mode)
+	planB, errB := alt.DecideAll(mode)
 	if errA != nil || errB != nil {
 		return hybrid.FlipReport{}
 	}

@@ -31,6 +31,14 @@ const (
 	DepComm Mode = "depcomm"
 	// Hybrid splits dependencies by the Algorithm 4 cost model.
 	Hybrid Mode = "hybrid"
+	// DepTP runs every layer tensor-parallel: full graph structure on every
+	// worker, features/aggregations/gradients sharded along the feature
+	// dimension, dependency traffic replaced by slice-exchange collectives.
+	DepTP Mode = "deptp"
+	// Hybrid3 widens the planner to a per-layer 3-way choice: the Algorithm 4
+	// cache/comm split competes against tensor-parallel suffixes on modeled
+	// cost.
+	Hybrid3 Mode = "hybrid3"
 )
 
 // Options configures an Engine.
@@ -159,6 +167,9 @@ type Engine struct {
 	// costs are the probed (or forced) environment factors the planner used;
 	// the cost-model validator compares them against measured ones.
 	costs costmodel.Costs
+	// tpFeatAll is the full-width feature matrix in owner-block row order,
+	// shared by all workers when layer 1 runs the assemble TP dataflow.
+	tpFeatAll *tensor.Tensor
 	epoch int
 	// history accumulates every completed epoch's stats; it rides along in
 	// snapshots so a resumed run reports a continuous loss curve.
@@ -204,9 +215,11 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if costs == (costmodel.Costs{}) {
 		costs = probeCached(opts.Profile)
 	}
+	sliceTP := nn.SliceSeparable(opts.Model)
 	planner := &hybrid.Planner{
 		Graph: ds.Graph, Part: part, Dims: dims,
 		Costs: costs, MemBudget: opts.MemBudget, Ratio: opts.CacheRatio,
+		SliceTP: sliceTP,
 	}
 	var mode hybrid.Mode
 	switch opts.Mode {
@@ -214,6 +227,10 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		mode = hybrid.ModeAllCache
 	case DepComm:
 		mode = hybrid.ModeAllComm
+	case DepTP:
+		mode = hybrid.ModeAllTP
+	case Hybrid3:
+		mode = hybrid.ModeHybrid3
 	case Hybrid:
 		if opts.ForceRatio {
 			mode = hybrid.ModeRatio
@@ -230,7 +247,7 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	}
 	preprocess := time.Since(start)
 
-	plans, err := buildPlans(ds.Graph, part, decs, dims)
+	plans, err := buildPlans(ds.Graph, part, decs, dims, sliceTP)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +274,15 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		fabric:         fabric,
 		costs:          costs,
 		PreprocessTime: preprocess,
+	}
+	// Assemble-dataflow TP at layer 1 reads the full-width feature matrix in
+	// owner-block order; it is static, so one engine-wide copy serves all
+	// workers.
+	if sh := tpSharedOf(plans); sh != nil && !sh.slice && plans[0].tpLayers[0] != nil {
+		e.tpFeatAll = tensor.New(ds.NumVertices(), dims[0])
+		for v := 0; v < ds.NumVertices(); v++ {
+			copy(e.tpFeatAll.Row(int(sh.globalRow[v])), ds.Features.Row(v))
+		}
 	}
 	cached, comms := 0, 0
 	for _, d := range decs {

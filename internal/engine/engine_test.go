@@ -498,7 +498,7 @@ func newEngineWithDecisions(t *testing.T, ds *dataset.Dataset, decs []*hybrid.De
 	part *partition.Partition, workers int, seed uint64) *Engine {
 	t.Helper()
 	dims := []int{ds.Spec.FeatureDim, ds.Spec.HiddenDim, ds.Spec.NumClasses}
-	plans, err := buildPlans(ds.Graph, part, decs, dims)
+	plans, err := buildPlans(ds.Graph, part, decs, dims, false)
 	if err != nil {
 		t.Fatal(err)
 	}

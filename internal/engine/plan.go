@@ -96,11 +96,16 @@ type workerPlan struct {
 	// cacheBytes is the replica storage implied by cachedCompute (for
 	// reporting against the Decision estimate).
 	cacheBytes int64
+	// tpLayers[l-1] is the tensor-parallel plan of layer l, nil for layers
+	// that run the regular master–mirror dataflow. Always length L.
+	tpLayers []*tpLayerPlan
 }
 
 // buildPlans derives all workers' execution plans from the dependency
-// decisions. dims is d^(0)..d^(L).
-func buildPlans(g *graph.Graph, part *partition.Partition, decs []*hybrid.Decision, dims []int) ([]*workerPlan, error) {
+// decisions. dims is d^(0)..d^(L); sliceTP selects the tensor-parallel
+// dataflow (column-sliced aggregation vs. full-width assemble) for any
+// TP layers in the decisions.
+func buildPlans(g *graph.Graph, part *partition.Partition, decs []*hybrid.Decision, dims []int, sliceTP bool) ([]*workerPlan, error) {
 	m := part.NumParts
 	L := len(dims) - 1
 	if len(decs) != m {
@@ -112,9 +117,19 @@ func buildPlans(g *graph.Graph, part *partition.Partition, decs []*hybrid.Decisi
 	// precomputed here.
 	_, selfNormAll := graph.GCNNormCoefficients(g)
 
+	// The tensor-parallel geometry is cluster-global and identical across
+	// workers, so it is built once and shared read-only.
+	var shared *tpShared
+	for _, d := range decs {
+		if d.NumTP() > 0 {
+			shared = buildTPShared(g, part, sliceTP, selfNormAll)
+			break
+		}
+	}
+
 	plans := make([]*workerPlan, m)
 	for i := 0; i < m; i++ {
-		p, err := buildWorkerPlan(g, part, decs[i], dims, i, selfNormAll)
+		p, err := buildWorkerPlan(g, part, decs[i], dims, i, selfNormAll, shared)
 		if err != nil {
 			return nil, err
 		}
@@ -139,11 +154,22 @@ func buildPlans(g *graph.Graph, part *partition.Partition, decs []*hybrid.Decisi
 
 // buildWorkerPlan derives worker i's plan from its dependency decision.
 func buildWorkerPlan(g *graph.Graph, part *partition.Partition, dec *hybrid.Decision,
-	dims []int, i int, selfNormAll []float32) (*workerPlan, error) {
+	dims []int, i int, selfNormAll []float32, shared *tpShared) (*workerPlan, error) {
 
 	L := len(dims) - 1
 	owned := part.Parts[i]
 	isOwned := func(v int32) bool { return part.Assign[v] == int32(i) }
+
+	// Tensor-parallel layers must form a suffix: a TP layer's input is
+	// exactly the owned rows, which a regular layer above it (whose cached
+	// dependencies would widen the output below) cannot guarantee. The 3-way
+	// planner only emits suffixes; reject anything else before it produces a
+	// silently wrong plan.
+	for l := 1; l < L; l++ {
+		if dec.TPAt(l) && !dec.TPAt(l+1) {
+			return nil, fmt.Errorf("engine: worker %d: tensor-parallel layers must form a suffix (layer %d TP under regular layer %d)", i, l, l+1)
+		}
+	}
 
 	// 1. Derive cachedCompute sets by expanding every cached dependency's
 	// subtree: caching u for layer l requires h^(l-1)_u locally, which
@@ -176,7 +202,8 @@ func buildWorkerPlan(g *graph.Graph, part *partition.Partition, dec *hybrid.Deci
 			need(u, l-1)
 		}
 	}
-	p := &workerPlan{id: i, owned: owned, cachedCompute: make([][]int32, L)}
+	p := &workerPlan{id: i, owned: owned, cachedCompute: make([][]int32, L),
+		tpLayers: make([]*tpLayerPlan, L)}
 	for k := 0; k < L; k++ {
 		p.cachedCompute[k] = sortedFromSet(cachedSet[k])
 		p.cacheBytes += int64(len(p.cachedCompute[k])) * int64(4*dims[k])
@@ -199,6 +226,21 @@ func buildWorkerPlan(g *graph.Graph, part *partition.Partition, dec *hybrid.Deci
 	p.layers = make([]layerPlan, L)
 	for l := 1; l <= L; l++ {
 		lp := &p.layers[l-1]
+		if dec.TPAt(l) {
+			// Tensor-parallel layer: no per-vertex exchange, no cached block.
+			// The regular structures stay empty (so the generic send/recv
+			// wiring and backward loops no-op) and the slice-exchange plan
+			// lives in tpLayers.
+			if len(p.cachedCompute[l-1]) != 0 {
+				return nil, fmt.Errorf("engine: worker %d layer %d: tensor-parallel input widened by %d replicas at level %d", i, l, len(p.cachedCompute[l-1]), l-1)
+			}
+			lp.recv = make([][]int32, part.NumParts)
+			lp.recvOffset = make([]int32, part.NumParts)
+			lp.numPrevRows = len(owned)
+			lp.numHAllRows = len(owned)
+			p.tpLayers[l-1] = buildTPLayer(g, part, shared, dims, l, i, selfNormAll)
+			continue
+		}
 		lp.numPrevRows = len(owned) + len(p.cachedCompute[l-1])
 
 		// Communicated dependencies still missing locally at this layer.

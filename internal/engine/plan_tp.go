@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"neutronstar/internal/costmodel"
+	"neutronstar/internal/graph"
+	"neutronstar/internal/partition"
+	"neutronstar/internal/tensor"
+)
+
+// Tensor-parallel (DepTP) execution structures. A TP layer inverts the data
+// placement of the other policies: every worker holds the full graph
+// structure, but features, aggregations and gradients are sharded along the
+// feature dimension — worker j owns an F/N-wide column slice. Per-vertex
+// dependency traffic disappears; two slice-exchange collectives (a forward
+// re-gather and its backward re-scatter adjoint) move the sharded tensors
+// between the column layout and the row layout instead, with volume
+// |V|·F/N-shaped and independent of the degree distribution.
+
+// tpShared is the cluster-global tensor-parallel geometry, built once and
+// shared read-only by every worker's plan. All workers agree on the
+// owner-block row order: worker 0's owned vertices first (in partition
+// order), then worker 1's, and so on — so a row range identifies an owner
+// without any per-vertex index exchange.
+type tpShared struct {
+	// slice selects the dataflow: column-sliced edge aggregation for
+	// sum-decomposable models, full-width assemble for models whose edge
+	// stage mixes columns (attention, pooling).
+	slice bool
+	// blockStart[j]..blockStart[j+1] is worker j's owned row range in
+	// owner-block order (length m+1).
+	blockStart []int32
+	// globalRow maps a global vertex id to its owner-block row.
+	globalRow []int32
+	// Full-graph CSC over owner-block rows for the slice dataflow (nil when
+	// assemble): edges grouped per destination, in-neighbor order within a
+	// group — the buildBlock convention, so per-vertex sums reduce in the
+	// same float order as the other policies.
+	srcRow, dstRow []int32
+	edgeNorm       []float32
+	// selfNorm[r] is row r's GCN self coefficient in owner-block order
+	// (slice dataflow only).
+	selfNorm []float32
+}
+
+// tpLayerPlan is one worker's plan for one tensor-parallel layer.
+type tpLayerPlan struct {
+	shared *tpShared
+	// colStart[j]..colStart[j+1] is worker j's column slice of d^(l-1)
+	// (length m+1). Zero-width slices compute and exchange nothing.
+	colStart []int32
+	// selfNormOwned is the owned rows' self coefficients (slice dataflow).
+	selfNormOwned []float32
+	// full is the worker's owned destination block over the global
+	// owner-block row universe (assemble dataflow).
+	full blockPlan
+}
+
+// buildTPShared derives the cluster-global geometry.
+func buildTPShared(g *graph.Graph, part *partition.Partition, slice bool, selfNormAll []float32) *tpShared {
+	m := part.NumParts
+	n := g.NumVertices()
+	sh := &tpShared{slice: slice, blockStart: make([]int32, m+1), globalRow: make([]int32, n)}
+	row := int32(0)
+	for j := 0; j < m; j++ {
+		sh.blockStart[j] = row
+		for _, v := range part.Parts[j] {
+			sh.globalRow[v] = row
+			row++
+		}
+	}
+	sh.blockStart[m] = row
+	if !slice {
+		return sh
+	}
+	sh.selfNorm = make([]float32, n)
+	for j := 0; j < m; j++ {
+		for _, v := range part.Parts[j] {
+			r := sh.globalRow[v]
+			sh.selfNorm[r] = selfNormAll[v]
+			dNorm := gcnInvSqrt(g.InDegree(v))
+			for _, u := range g.InNeighbors(v) {
+				sh.srcRow = append(sh.srcRow, sh.globalRow[u])
+				sh.dstRow = append(sh.dstRow, r)
+				sh.edgeNorm = append(sh.edgeNorm, dNorm*gcnInvSqrt(g.InDegree(u)))
+			}
+		}
+	}
+	return sh
+}
+
+// buildTPLayer derives worker `worker`'s plan for TP layer l.
+func buildTPLayer(g *graph.Graph, part *partition.Partition, sh *tpShared,
+	dims []int, l, worker int, selfNormAll []float32) *tpLayerPlan {
+
+	m := part.NumParts
+	tp := &tpLayerPlan{shared: sh, colStart: make([]int32, m+1)}
+	for j := 0; j <= m; j++ {
+		lo, _ := costmodel.TPColRange(dims[l-1], m, j)
+		tp.colStart[j] = int32(lo)
+	}
+	if sh.slice {
+		tp.selfNormOwned = sh.selfNorm[sh.blockStart[worker]:sh.blockStart[worker+1]]
+	} else {
+		tp.full = buildTPBlock(g, part.Parts[worker], sh, selfNormAll)
+	}
+	return tp
+}
+
+// buildTPBlock builds the assemble-dataflow owned destination block: edge
+// sources and destination selves both index the global owner-block row
+// universe (the assembled full-width input).
+func buildTPBlock(g *graph.Graph, dsts []int32, sh *tpShared, selfNormAll []float32) blockPlan {
+	b := blockPlan{dsts: dsts, offsets: make([]int32, len(dsts)+1)}
+	b.selfRow = make([]int32, len(dsts))
+	b.selfNorm = make([]float32, len(dsts))
+	for r, v := range dsts {
+		b.selfRow[r] = sh.globalRow[v]
+		b.selfNorm[r] = selfNormAll[v]
+		dNorm := gcnInvSqrt(g.InDegree(v))
+		for _, u := range g.InNeighbors(v) {
+			b.srcRow = append(b.srcRow, sh.globalRow[u])
+			b.dstRow = append(b.dstRow, int32(r))
+			b.edgeNorm = append(b.edgeNorm, dNorm*gcnInvSqrt(g.InDegree(u)))
+		}
+		b.offsets[r+1] = int32(len(b.srcRow))
+	}
+	return b
+}
+
+// tpSharedOf returns the cluster's tensor-parallel geometry, nil when no
+// layer is tensor-parallel.
+func tpSharedOf(plans []*workerPlan) *tpShared {
+	for _, p := range plans {
+		for _, tp := range p.tpLayers {
+			if tp != nil {
+				return tp.shared
+			}
+		}
+	}
+	return nil
+}
+
+// TPSliceExchange models the two DepTP collectives over plain tensors,
+// independent of any engine instance. slices[j] is worker j's column slice
+// of a |V|-row matrix in owner-block order (ColStart[j+1]-ColStart[j]
+// columns); ReGather assembles one worker's full-width owned block from
+// them, and ReScatter routes a gradient block back. The pair being exact
+// adjoints — ⟨ReGather(A), B⟩ == Σ_j ⟨A_j, ReScatter(B)_j⟩ — is what makes
+// the TP backward pass compute the same gradients as a single machine; the
+// gradcheck sweep tests exactly that identity.
+type TPSliceExchange struct {
+	// BlockStart[w]..BlockStart[w+1] is worker w's owned row range.
+	BlockStart []int
+	// ColStart[j]..ColStart[j+1] is worker j's column slice.
+	ColStart []int
+}
+
+// NumWorkers returns the cluster size implied by the row blocks.
+func (x TPSliceExchange) NumWorkers() int { return len(x.BlockStart) - 1 }
+
+// ReGather assembles worker w's full-width owned block from every worker's
+// column slice: out[r][c] = slices[j][BlockStart[w]+r][c-ColStart[j]] for
+// the j whose slice covers column c.
+func (x TPSliceExchange) ReGather(slices []*tensor.Tensor, w int) *tensor.Tensor {
+	rows := x.BlockStart[w+1] - x.BlockStart[w]
+	out := tensor.New(rows, x.ColStart[len(x.ColStart)-1])
+	for j, s := range slices {
+		lo, hi := x.ColStart[j], x.ColStart[j+1]
+		if hi == lo {
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			copy(out.Row(r)[lo:hi], s.Row(x.BlockStart[w]+r))
+		}
+	}
+	return out
+}
+
+// ReScatter is ReGather's adjoint: it routes worker w's full-width gradient
+// block back into the per-worker column slices, accumulating (+=) so
+// scatters from different owners compose the way the backward pass does.
+func (x TPSliceExchange) ReScatter(grad *tensor.Tensor, w int, slices []*tensor.Tensor) {
+	rows := x.BlockStart[w+1] - x.BlockStart[w]
+	for j, s := range slices {
+		lo, hi := x.ColStart[j], x.ColStart[j+1]
+		if hi == lo {
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			src := grad.Row(r)[lo:hi]
+			dst := s.Row(x.BlockStart[w] + r)
+			for c, g := range src {
+				dst[c] += g
+			}
+		}
+	}
+}

@@ -29,6 +29,11 @@ type workerState struct {
 	// cached (replicated) features — the one-time fetch of Algorithm 2
 	// line 5 happens here at construction.
 	feat *tensor.Tensor
+	// sliceFeat is the worker's column slice of all features in owner-block
+	// row order — the layer-1 input when that layer runs the tensor-parallel
+	// slice dataflow (nil otherwise). Assembled once at construction, like
+	// feat.
+	sliceFeat *tensor.Tensor
 	// labels / trainMask are aligned with the owned rows.
 	labels    []int32
 	trainMask []bool
@@ -47,6 +52,9 @@ type layerRun struct {
 	// chunkLeaves holds per-peer received leaves when the layer ran through
 	// the chunk-pipelined path (hRecv is nil then).
 	chunkLeaves []chunkLeaf
+	// tp holds the tensor-parallel tape state when the layer ran the DepTP
+	// dataflow (everything above is nil or a carrier then).
+	tp *tpLayerRun
 }
 
 // chunkLeaf is one peer's received chunk as a tape leaf.
@@ -76,6 +84,16 @@ func newWorkerState(id int, e *Engine, model *nn.Model) *workerState {
 	}
 	for r, v := range cached0 {
 		copy(ws.feat.Row(len(plan.owned)+r), ds.Features.Row(int(v)))
+	}
+	if tp := plan.tpLayers[0]; tp != nil && tp.shared.slice {
+		sh := tp.shared
+		lo, hi := int(tp.colStart[id]), int(tp.colStart[id+1])
+		ws.sliceFeat = tensor.New(ds.NumVertices(), hi-lo)
+		if hi > lo {
+			for v := 0; v < ds.NumVertices(); v++ {
+				copy(ws.sliceFeat.Row(int(sh.globalRow[v])), ds.Features.Row(v)[lo:hi])
+			}
+		}
 	}
 	ws.labels = make([]int32, len(plan.owned))
 	ws.trainMask = make([]bool, len(plan.owned))
@@ -133,7 +151,11 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 	// ---- Forward: synchronize-compute per layer ----
 	prevVal := ws.feat
 	for l := 1; l <= L; l++ {
-		runs[l-1] = ws.forwardLayer(epoch, l, prevVal, coll, true, sc)
+		if ws.plan.tpLayers[l-1] != nil {
+			runs[l-1] = ws.forwardLayerTP(epoch, l, prevVal, coll, true, sc)
+		} else {
+			runs[l-1] = ws.forwardLayer(epoch, l, prevVal, coll, true, sc)
+		}
 		prevVal = runs[l-1].out.Value
 	}
 
@@ -163,7 +185,11 @@ func (ws *workerState) runEpoch(epoch int) (lossSum float64, count int) {
 
 	// ---- Backward: compute-synchronize per layer ----
 	for l := L; l >= 1; l-- {
-		ws.backwardLayer(epoch, l, runs, sc)
+		if runs[l-1].tp != nil {
+			ws.backwardLayerTP(epoch, l, runs, sc)
+		} else {
+			ws.backwardLayer(epoch, l, runs, sc)
+		}
 	}
 
 	// ---- Parameter update: collect, synchronise, step ----
@@ -320,7 +346,12 @@ func (ws *workerState) runForward(epoch int) *tensor.Tensor {
 	for l := 1; l <= L; l++ {
 		// Inference passes carry a nil clock: they run outside any epoch and
 		// the recorder would drop their samples anyway.
-		run := ws.forwardLayer(epoch, l, prevVal, ws.eng.opts.Collector, false, nil)
+		var run layerRun
+		if ws.plan.tpLayers[l-1] != nil {
+			run = ws.forwardLayerTP(epoch, l, prevVal, ws.eng.opts.Collector, false, nil)
+		} else {
+			run = ws.forwardLayer(epoch, l, prevVal, ws.eng.opts.Collector, false, nil)
+		}
 		prevVal = run.out.Value
 	}
 	for _, p := range ws.model.Params() {

@@ -9,12 +9,19 @@ type FlipReport struct {
 	CacheToComm int `json:"cache_to_comm"`
 	// CommToCache counts slots communicated under A but cached under B.
 	CommToCache int `json:"comm_to_cache"`
+	// ToTP / FromTP count (worker, layer) slots that flipped into / out of
+	// tensor parallelism between A and B. A layer that flips to TP drops all
+	// its per-dependency slots from the membership comparison — the policy
+	// change subsumes them.
+	ToTP   int `json:"to_tp"`
+	FromTP int `json:"from_tp"`
 	// Slots is the number of comparable (worker, layer, dependency) slots.
 	Slots int `json:"slots"`
 }
 
-// Flips returns the total number of flipped decisions.
-func (f FlipReport) Flips() int { return f.CacheToComm + f.CommToCache }
+// Flips returns the total number of flipped decisions: per-dependency
+// cache/comm moves plus per-layer tensor-parallel moves.
+func (f FlipReport) Flips() int { return f.CacheToComm + f.CommToCache + f.ToTP + f.FromTP }
 
 // DiffDecisions compares two plans over the same cluster shape. Workers and
 // layers beyond the shorter plan are ignored; within a layer, membership is
@@ -32,6 +39,16 @@ func DiffDecisions(a, b []*Decision) FlipReport {
 			layers = len(b[w].R)
 		}
 		for l := 0; l < layers; l++ {
+			aTP, bTP := a[w].TPAt(l+1), b[w].TPAt(l+1)
+			if aTP || bTP {
+				if !aTP && bTP {
+					rep.ToTP++
+				}
+				if aTP && !bTP {
+					rep.FromTP++
+				}
+				continue // TP layers have no per-dependency slots to compare
+			}
 			inA := make(map[int32]bool, len(a[w].R[l])+len(a[w].C[l]))
 			for _, u := range a[w].R[l] {
 				inA[u] = true

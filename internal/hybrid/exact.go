@@ -3,6 +3,7 @@ package hybrid
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // The paper observes (§3) that minimising Eq. 3 is NP-hard — it reduces to
@@ -18,8 +19,17 @@ import (
 // h^(l-1)_u, hence the self-chain of u and the subtrees of its in-neighbors
 // down to the features; every replicated vertex w with requirement level k
 // is charged the vertex and edge work of all levels 1..k exactly once.
-// It returns the cost and the replica storage bytes.
+// Tensor-parallel layers contribute their slice-exchange collective cost
+// instead (tpLayerCost). It returns the cost and the replica storage bytes.
 func (p *Planner) EvaluateCost(worker int, d *Decision) (cost float64, bytes int64) {
+	cacheCost, commCost, bytes := p.evaluateCostSplit(worker, d)
+	return cacheCost + commCost, bytes
+}
+
+// evaluateCostSplit is EvaluateCost with the redundant-compute and
+// communication components reported separately (slice-exchange collective
+// cost counts as communication).
+func (p *Planner) evaluateCostSplit(worker int, d *Decision) (cacheCost, commCost float64, bytes int64) {
 	L := p.numLayers()
 	owner := p.Part.Assign
 	isOwned := func(v int32) bool { return owner[v] == int32(worker) }
@@ -42,15 +52,27 @@ func (p *Planner) EvaluateCost(worker int, d *Decision) (cost float64, bytes int
 		}
 	}
 	for l := 1; l <= L; l++ {
+		if d.TPAt(l) {
+			continue // TP layers carry no R set
+		}
 		for _, u := range d.R[l-1] {
 			mark(u, l-1)
 		}
 	}
 
-	for w, k := range req {
+	// Iterate replicas in sorted vertex order: map-range order would make the
+	// float sum — and with it the 3-way argmin on near-ties — depend on the
+	// run, and the planner must be deterministic.
+	reps := make([]int32, 0, len(req))
+	for w := range req {
+		reps = append(reps, w)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	for _, w := range reps {
+		k := req[w]
 		deg := float64(p.Graph.InDegree(w))
 		for j := 1; j <= k; j++ {
-			cost += (p.Costs.Tv + deg*p.Costs.Te) * float64(p.Dims[j])
+			cacheCost += (p.Costs.Tv + deg*p.Costs.Te) * float64(p.Dims[j])
 		}
 		for j := 0; j <= k; j++ {
 			bytes += int64(4 * p.Dims[j])
@@ -58,6 +80,10 @@ func (p *Planner) EvaluateCost(worker int, d *Decision) (cost float64, bytes int
 		bytes += int64(8 * p.Graph.InDegree(w))
 	}
 	for l := 1; l <= L; l++ {
+		if d.TPAt(l) {
+			commCost += p.tpLayerCost(worker, l)
+			continue
+		}
 		for _, u := range d.C[l-1] {
 			if isOwned(u) {
 				continue
@@ -68,10 +94,10 @@ func (p *Planner) EvaluateCost(worker int, d *Decision) (cost float64, bytes int
 			if l == 1 {
 				continue // features are fetched once at setup, not per epoch
 			}
-			cost += p.Costs.CommCost(p.Dims[l-1])
+			commCost += p.Costs.CommCost(p.Dims[l-1])
 		}
 	}
-	return cost, bytes
+	return cacheCost, commCost, bytes
 }
 
 // ExactDecision enumerates every per-layer cache/communicate assignment for

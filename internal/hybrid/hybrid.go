@@ -26,18 +26,44 @@ import (
 )
 
 // Decision records, for one worker, the per-layer split of its remote
-// dependencies. Layer l (1-based) uses index l-1. Every dependency of the
-// worker appears in exactly one of R[l-1] or C[l-1] for each layer.
+// dependencies. Layer l (1-based) uses index l-1. On a non-tensor-parallel
+// layer every dependency of the worker appears in exactly one of R[l-1] or
+// C[l-1]; on a tensor-parallel layer both sets are empty and TP[l-1] is
+// true — the layer has no per-vertex dependencies at all.
 type Decision struct {
 	// R[l-1] lists dependencies cached for layer l, ascending.
 	R [][]int32
 	// C[l-1] lists dependencies communicated at layer l, ascending.
 	C [][]int32
+	// TP[l-1] marks layer l as tensor-parallel (DepTP): the worker computes
+	// an F/N-wide feature shard over the full graph and the slice-exchange
+	// collectives replace R and C entirely. TP is a cluster-level per-layer
+	// choice, identical across all workers' Decisions. Decisions from the
+	// 2-way modes may carry a nil TP (all false).
+	TP []bool
 	// CacheBytes estimates the replica storage the cached sets require.
 	CacheBytes int64
 	// EstCacheCost / EstCommCost are the modeled per-epoch costs (seconds)
-	// of the chosen split, for reporting.
+	// of the chosen split, for reporting. Slice-exchange collective cost
+	// counts as communication.
 	EstCacheCost, EstCommCost float64
+}
+
+// TPAt reports whether layer l (1-based) is tensor-parallel under this
+// decision. Safe on decisions from 2-way modes (nil TP).
+func (d *Decision) TPAt(l int) bool {
+	return d.TP != nil && l-1 < len(d.TP) && d.TP[l-1]
+}
+
+// NumTP returns the number of tensor-parallel layers.
+func (d *Decision) NumTP() int {
+	n := 0
+	for _, tp := range d.TP {
+		if tp {
+			n++
+		}
+	}
+	return n
 }
 
 // NumCached returns the total cached dependencies across layers.
@@ -71,6 +97,13 @@ const (
 	// ModeRatio caches a fixed fraction of dependencies per layer, most
 	// cache-efficient first (Figure 11's manual sweep).
 	ModeRatio
+	// ModeAllTP runs every layer tensor-parallel (the pure DepTP engine).
+	ModeAllTP
+	// ModeHybrid3 widens the greedy to the 3-way per-layer choice: the
+	// 2-way Algorithm 4 mix, pure caching, pure communication, and
+	// tensor-parallel layer suffixes all compete on modeled cost (see
+	// decideThreeWay).
+	ModeHybrid3
 )
 
 // Planner derives per-worker Decisions.
@@ -84,6 +117,11 @@ type Planner struct {
 	MemBudget int64
 	// Ratio is the cached fraction for ModeRatio, in [0, 1].
 	Ratio float64
+	// SliceTP reports that the model's aggregation is column-wise separable
+	// (nn.SliceSeparable): tensor-parallel layers then run the cheap slice
+	// dataflow instead of full-width row assembly, which changes the DepTP
+	// collective volume the cost model charges (costmodel.TPVolume).
+	SliceTP bool
 }
 
 // numLayers returns L.
@@ -94,6 +132,11 @@ func (p *Planner) numLayers() int { return len(p.Dims) - 1 }
 func (p *Planner) DecideAll(mode Mode) ([]*Decision, error) {
 	if p.numLayers() < 1 {
 		return nil, fmt.Errorf("hybrid: need at least 1 layer, dims=%v", p.Dims)
+	}
+	if mode == ModeHybrid3 {
+		// The tensor-parallel choice is cluster-global (all workers must
+		// agree per layer), so the 3-way planner cannot decide per worker.
+		return p.decideThreeWay()
 	}
 	out := make([]*Decision, p.Part.NumParts)
 	errs := make([]error, p.Part.NumParts)
@@ -137,8 +180,14 @@ func (p *Planner) dependencies(i int) []int32 {
 func (p *Planner) decideWorker(i int, mode Mode) (*Decision, error) {
 	deps := p.dependencies(i)
 	L := p.numLayers()
-	d := &Decision{R: make([][]int32, L), C: make([][]int32, L)}
+	d := &Decision{R: make([][]int32, L), C: make([][]int32, L), TP: make([]bool, L)}
 	switch mode {
+	case ModeAllTP:
+		for l := 1; l <= L; l++ {
+			d.TP[l-1] = true
+			d.EstCommCost += p.tpLayerCost(i, l)
+		}
+		return d, nil
 	case ModeAllCache:
 		for l := 0; l < L; l++ {
 			d.R[l] = deps

@@ -38,6 +38,15 @@ func checkPartitionOfDeps(t *testing.T, pl *Planner, worker int, d *Decision) {
 		depSet[u] = true
 	}
 	for l := range d.R {
+		if d.TPAt(l + 1) {
+			// A tensor-parallel layer has no per-vertex dependencies at all:
+			// the slice-exchange collectives replace both sets.
+			if len(d.R[l]) != 0 || len(d.C[l]) != 0 {
+				t.Fatalf("worker %d layer %d: tensor-parallel layer carries R=%v C=%v",
+					worker, l+1, d.R[l], d.C[l])
+			}
+			continue
+		}
 		seen := make(map[int32]int)
 		for _, u := range d.R[l] {
 			seen[u]++

@@ -31,6 +31,9 @@ func TestDecisionPartitionInvariantAcrossModes(t *testing.T) {
 		{"ratio/0", ModeRatio, 0, 0},
 		{"ratio/0.5", ModeRatio, 0.5, 0},
 		{"ratio/1", ModeRatio, 1, 0},
+		{"alltp", ModeAllTP, 0, 0},
+		{"hybrid3", ModeHybrid3, 0, 0},
+		{"hybrid3/tight-budget", ModeHybrid3, 0, 512},
 	}
 	for _, c := range cfgs {
 		t.Run(c.name, func(t *testing.T) {
@@ -46,6 +49,16 @@ func TestDecisionPartitionInvariantAcrossModes(t *testing.T) {
 				for l := range d.R {
 					assertAscending(t, "R", w, l, d.R[l])
 					assertAscending(t, "C", w, l, d.C[l])
+				}
+			}
+			// The tensor-parallel bit is cluster-global: every worker must
+			// carry the identical per-layer TP flags.
+			for l := 1; l < len(pl.Dims); l++ {
+				for w := 1; w < len(ds); w++ {
+					if ds[w].TPAt(l) != ds[0].TPAt(l) {
+						t.Fatalf("layer %d: worker %d TP=%v, worker 0 TP=%v",
+							l, w, ds[w].TPAt(l), ds[0].TPAt(l))
+					}
 				}
 			}
 		})
@@ -158,7 +171,7 @@ func TestZeroDegreeDependencyCost(t *testing.T) {
 // dependencies, so every mode must produce empty sets and zero estimates.
 func TestSingleWorkerDegeneratePlan(t *testing.T) {
 	g, p := testSetup(t, 40, 3, 1, 35)
-	for _, mode := range []Mode{ModeHybrid, ModeAllCache, ModeAllComm, ModeRatio} {
+	for _, mode := range []Mode{ModeHybrid, ModeAllCache, ModeAllComm, ModeRatio, ModeAllTP, ModeHybrid3} {
 		pl := planner(g, p, costmodel.Costs{Tv: 1e-8, Te: 2e-9, Tc: 3e-8})
 		pl.Ratio = 0.5
 		ds, err := pl.DecideAll(mode)
@@ -172,5 +185,53 @@ func TestSingleWorkerDegeneratePlan(t *testing.T) {
 		if d.CacheBytes != 0 || d.EstCacheCost != 0 || d.EstCommCost != 0 {
 			t.Fatalf("mode %d: nonzero estimates %d/%g/%g", mode, d.CacheBytes, d.EstCacheCost, d.EstCommCost)
 		}
+		if mode == ModeHybrid3 && d.NumTP() != 0 {
+			// Every candidate ties at zero on one worker and the tie rule
+			// picks pure communication, so no layer goes tensor-parallel.
+			t.Fatalf("hybrid3 on a single worker chose %d TP layers", d.NumTP())
+		}
+	}
+}
+
+// TestThreeWayTieGoesToComm pins the generalized tie rule of the 3-way argmin
+// (the per-dependency version lives in TestCostTieGoesToComm): candidates are
+// ordered communication, 2-way greedy, caching, then TP suffixes shallowest
+// first, and only a strictly cheaper candidate displaces an earlier one. Two
+// regimes force exact ties that include the tensor-parallel candidates:
+// all-zero costs tie every candidate at 0; zero Tc ties comm, greedy and all
+// TP suffixes at 0 while caching stays strictly positive. Both must resolve
+// to pure communication — no TP, nothing cached, the dependency in C.
+func TestThreeWayTieGoesToComm(t *testing.T) {
+	regimes := []struct {
+		name  string
+		costs costmodel.Costs
+	}{
+		{"all-zero", costmodel.Costs{}},
+		{"free-comm", costmodel.Costs{Tv: 5e-8, Te: 1e-9, Tc: 0}},
+	}
+	for _, r := range regimes {
+		t.Run(r.name, func(t *testing.T) {
+			pl := twoVertexPlanner(r.costs, []int{4, 4, 2})
+			ds, err := pl.DecideAll(ModeHybrid3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, d := range ds {
+				if d.NumTP() != 0 {
+					t.Fatalf("worker %d: tie chose %d TP layers, want pure comm", w, d.NumTP())
+				}
+				if d.NumCached() != 0 {
+					t.Fatalf("worker %d: tie cached %d deps, want pure comm", w, d.NumCached())
+				}
+			}
+			// Worker 1's single dependency (vertex 0) must be communicated at
+			// every layer.
+			d := ds[1]
+			for l := range d.C {
+				if len(d.C[l]) != 1 || d.C[l][0] != 0 {
+					t.Fatalf("layer %d: C=%v, want [0]", l+1, d.C[l])
+				}
+			}
+		})
 	}
 }

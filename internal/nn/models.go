@@ -25,6 +25,22 @@ const (
 // ModelKinds lists all supported architectures.
 func ModelKinds() []ModelKind { return []ModelKind{GCN, GIN, GAT, SAGE} }
 
+// SliceSeparable reports whether kind's neighbor aggregation is column-wise
+// separable: each output column of the edge stage depends only on the same
+// input column. GCN (normalised copy + sum) and GIN (raw sum) qualify — they
+// are exactly the SumDecomposable layers whose EdgeStage never mixes columns
+// — so a tensor-parallel engine can aggregate an F/N-wide feature shard
+// independently per worker. GAT (softmax over learned per-edge scores) and
+// SAGE (wPool transform before pooling) mix columns and need the full width;
+// a tensor-parallel engine must fall back to assembling full-width rows.
+func SliceSeparable(kind ModelKind) bool {
+	switch kind {
+	case GCN, GIN:
+		return true
+	}
+	return false
+}
+
 // NewModel builds an L-layer model of the given kind with the dimension
 // chain dims = [featureDim, hidden..., numClasses]; len(dims)-1 layers are
 // created, all but the last with activations, as in the paper's 2-layer

@@ -3,6 +3,7 @@ package testkit
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"neutronstar/internal/ckpt"
 	"neutronstar/internal/comm"
@@ -75,8 +76,9 @@ var oracleCosts = costmodel.Costs{Tv: 2e-8, Te: 4e-9, Tc: 6e-8}
 
 // RunEquivalence trains ds under every dependency-management policy — the
 // single-machine reference, a 1-worker engine, N-worker pure DepCache,
-// N-worker pure DepComm and the cost-model hybrid plan, plus the optional
-// fault-injected and kill-and-resume variants — and checks that per-epoch
+// N-worker pure DepComm, the cost-model hybrid plan, N-worker tensor-parallel
+// DepTP and the 3-way hybrid3 plan, plus the optional fault-injected and
+// kill-and-resume variants — and checks that per-epoch
 // losses and final parameters agree with the reference within the
 // tolerances. It returns every policy's trajectory and the first divergence
 // found (nil if all agree). This is the executable form of the paper's
@@ -122,16 +124,27 @@ func RunEquivalence(ds *dataset.Dataset, opt OracleOptions) ([]PolicyRun, error)
 			o.Workers = opt.Workers
 			o.Mode = engine.Hybrid
 		})},
+		{fmt.Sprintf("deptp/%dw", opt.Workers), with(base, func(o *engine.Options) {
+			o.Workers = opt.Workers
+			o.Mode = engine.DepTP
+		})},
+		{fmt.Sprintf("hybrid3/%dw", opt.Workers), with(base, func(o *engine.Options) {
+			o.Workers = opt.Workers
+			o.Mode = engine.Hybrid3
+		})},
 	}
 	if opt.Fault != nil {
-		policies = append(policies, policy{
-			fmt.Sprintf("hybrid/%dw+faults", opt.Workers),
-			with(base, func(o *engine.Options) {
-				o.Workers = opt.Workers
-				o.Mode = engine.Hybrid
-				o.Fault = opt.Fault
-			}),
-		})
+		for _, m := range []engine.Mode{engine.Hybrid, engine.DepTP} {
+			mode := m
+			policies = append(policies, policy{
+				fmt.Sprintf("%s/%dw+faults", mode, opt.Workers),
+				with(base, func(o *engine.Options) {
+					o.Workers = opt.Workers
+					o.Mode = mode
+					o.Fault = opt.Fault
+				}),
+			})
+		}
 	}
 
 	for _, p := range policies {
@@ -142,11 +155,16 @@ func RunEquivalence(ds *dataset.Dataset, opt OracleOptions) ([]PolicyRun, error)
 		runs = append(runs, *run)
 	}
 	if opt.CkptDir != "" {
-		run, err := resumeRun(ds, base, opt)
-		if err != nil {
-			return runs, err
+		// Kill-and-resume per mode, each with its own snapshot subdirectory:
+		// the store is modeless and LoadLatest would otherwise hand one mode
+		// the other's snapshot.
+		for _, m := range []engine.Mode{engine.Hybrid, engine.DepTP} {
+			run, err := resumeRun(ds, base, opt, m)
+			if err != nil {
+				return runs, err
+			}
+			runs = append(runs, *run)
 		}
-		runs = append(runs, *run)
 	}
 
 	for _, run := range runs[1:] {
@@ -205,20 +223,21 @@ func trainEngine(ds *dataset.Dataset, label string, opts engine.Options, epochs 
 
 // resumeRun trains half the epochs with checkpointing, abandons the engine
 // (the "kill"), restores the latest snapshot into a fresh engine and
-// finishes — the trajectory must still match the reference.
-func resumeRun(ds *dataset.Dataset, base engine.Options, opt OracleOptions) (*PolicyRun, error) {
-	label := fmt.Sprintf("hybrid/%dw+resume", opt.Workers)
+// finishes — the trajectory must still match the reference. Each mode
+// snapshots into its own subdirectory of CkptDir.
+func resumeRun(ds *dataset.Dataset, base engine.Options, opt OracleOptions, mode engine.Mode) (*PolicyRun, error) {
+	label := fmt.Sprintf("%s/%dw+resume", mode, opt.Workers)
 	k := opt.Epochs / 2
 	if k == 0 {
 		k = 1
 	}
-	store, err := ckpt.OpenStore(opt.CkptDir)
+	store, err := ckpt.OpenStore(filepath.Join(opt.CkptDir, string(mode)))
 	if err != nil {
 		return nil, fmt.Errorf("oracle %s: %w", label, err)
 	}
 	opts := base
 	opts.Workers = opt.Workers
-	opts.Mode = engine.Hybrid
+	opts.Mode = mode
 
 	first := opts
 	first.Ckpt = &ckpt.Saver{Store: store, Every: 1}

@@ -51,11 +51,14 @@ import (
 // EngineKind selects the dependency-management strategy.
 type EngineKind string
 
-// The three engines of the paper.
+// The three engines of the paper, plus the tensor-parallel policy (DepTP,
+// after NeutronTP) and the 3-way planner that mixes all of them per layer.
 const (
 	EngineDepCache EngineKind = "depcache"
 	EngineDepComm  EngineKind = "depcomm"
 	EngineHybrid   EngineKind = "hybrid"
+	EngineDepTP    EngineKind = "deptp"
+	EngineHybrid3  EngineKind = "hybrid3"
 )
 
 // ModelKind selects the GNN architecture.
@@ -393,6 +396,10 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 		mode = engine.DepComm
 	case EngineHybrid, "":
 		mode = engine.Hybrid
+	case EngineDepTP:
+		mode = engine.DepTP
+	case EngineHybrid3:
+		mode = engine.Hybrid3
 	default:
 		return engine.Options{}, nil, fmt.Errorf("neutronstar: unknown engine %q", cfg.Engine)
 	}
@@ -739,9 +746,13 @@ func (s *Session) CostSummary() []string {
 			lr.Layer, lr.MeasComputeSeconds, lr.PredComputeSeconds, 100*lr.ComputeResidual,
 			lr.MeasCommSeconds, lr.PredCommSeconds, 100*lr.CommResidual))
 	}
-	lines = append(lines, fmt.Sprintf(
+	flip := fmt.Sprintf(
 		"counterfactual (fitted costs): %d/%d decisions flip (%d cache->comm, %d comm->cache)",
-		cr.Flips.Flips(), cr.Flips.Slots, cr.Flips.CacheToComm, cr.Flips.CommToCache))
+		cr.Flips.Flips(), cr.Flips.Slots, cr.Flips.CacheToComm, cr.Flips.CommToCache)
+	if cr.Flips.ToTP > 0 || cr.Flips.FromTP > 0 {
+		flip += fmt.Sprintf(" + %d layers to TP, %d from TP", cr.Flips.ToTP, cr.Flips.FromTP)
+	}
+	lines = append(lines, flip)
 	return lines
 }
 
