@@ -106,11 +106,15 @@ func main() {
 	}
 	var lats []float64 // milliseconds, successes only
 	var errs int64
+	stageMS := make(map[string][]float64) // per-stage ms from Server-Timing
 	var mu sync.Mutex
-	record := func(ms float64, ok bool) {
+	record := func(ms float64, ok bool, timing map[string]time.Duration) {
 		mu.Lock()
 		if ok {
 			lats = append(lats, ms)
+			for stage, d := range timing {
+				stageMS[stage] = append(stageMS[stage], float64(d)/float64(time.Millisecond))
+			}
 		} else {
 			errs++
 		}
@@ -119,8 +123,15 @@ func main() {
 	shoot := func(i int) {
 		path, body := gen.request(i)
 		t0 := time.Now()
-		ok := post(client, base+path, body)
-		record(float64(time.Since(t0).Nanoseconds())/1e6, ok)
+		hdr, ok := post(client, base+path, body)
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		var timing map[string]time.Duration
+		if ok {
+			if st := hdr.Get("Server-Timing"); st != "" {
+				timing = serve.ParseServerTiming(st)
+			}
+		}
+		record(ms, ok, timing)
 	}
 
 	deadline := time.Time{}
@@ -198,11 +209,25 @@ func main() {
 	} else {
 		summary.Concurrency = *concurrency
 	}
+	summary.Stages, summary.StageCoverage = stageSummary(stageMS, summary.MeanLatencyMs)
 
 	fmt.Printf("mode=%s requests=%d errors=%d elapsed=%.2fs qps=%.1f\n",
 		mode, sent, errs, elapsed.Seconds(), summary.QPS)
 	fmt.Printf("latency_ms p50=%.3f p99=%.3f mean=%.3f\n",
 		summary.P50LatencyMs, summary.P99LatencyMs, summary.MeanLatencyMs)
+	for _, stage := range []string{serve.StageQueue, serve.StageCache, serve.StageExtract, serve.StageCompute} {
+		if q, ok := summary.Stages[stage]; ok {
+			fmt.Printf("stage %-7s p50=%.3f p99=%.3f mean=%.3f ms\n", stage, q.P50Ms, q.P99Ms, q.MeanMs)
+		}
+	}
+	if summary.StageCoverage > 0 {
+		fmt.Printf("stage sum covers %.0f%% of server pipeline latency", 100*summary.StageCoverage)
+		if t, ok := summary.Stages[serve.StageTotal]; ok && summary.MeanLatencyMs > 0 {
+			fmt.Printf(" (pipeline is %.0f%% of client latency; rest is HTTP)",
+				100*t.MeanMs/summary.MeanLatencyMs)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("cache hits=%d misses=%d (delta over this window)\n", hits, misses)
 
 	if *benchOut != "" {
@@ -382,14 +407,53 @@ func fetchStats(client *http.Client, base string) (*serve.Stats, error) {
 	return &st, nil
 }
 
-func post(client *http.Client, url string, body []byte) bool {
+func post(client *http.Client, url string, body []byte) (http.Header, bool) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false
+		return nil, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.Header, resp.StatusCode == http.StatusOK
+}
+
+// stageSummary folds the per-request Server-Timing samples into per-stage
+// quantiles and computes the coverage ratio: the sum of the four additive
+// stage means over the server's mean end-to-end pipeline latency (the
+// "total" header entry; the stages partition it, so coverage should sit at
+// ~1.0). When no total was reported the mean client-observed latency stands
+// in, which additionally counts HTTP overhead.
+func stageSummary(stageMS map[string][]float64, meanClientMs float64) (map[string]bench.StageQuantiles, float64) {
+	if len(stageMS) == 0 {
+		return nil, 0
+	}
+	out := make(map[string]bench.StageQuantiles, len(stageMS))
+	var stageMeanSum float64
+	for stage, xs := range stageMS {
+		sort.Float64s(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		out[stage] = bench.StageQuantiles{
+			P50Ms:  percentile(xs, 0.50),
+			P99Ms:  percentile(xs, 0.99),
+			MeanMs: mean,
+		}
+		if stage != serve.StageTotal {
+			stageMeanSum += mean
+		}
+	}
+	basis := meanClientMs
+	if t, ok := out[serve.StageTotal]; ok && t.MeanMs > 0 {
+		basis = t.MeanMs
+	}
+	var coverage float64
+	if basis > 0 {
+		coverage = stageMeanSum / basis
+	}
+	return out, coverage
 }
 
 // percentile returns the p-quantile of sorted xs by nearest-rank.

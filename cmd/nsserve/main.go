@@ -12,13 +12,20 @@
 //	nsserve -dataset cora -model gcn -train 30 -addr :8090
 //
 // Endpoints: POST /predict /embed /linkscore (JSON), GET /stats /healthz
-// /metrics. Query it with curl or drive sustained load with nsload:
+// /metrics /timeline /healthwatch. Query it with curl, drive sustained load
+// with nsload, or watch it live with nstat:
 //
 //	curl -s localhost:8090/predict -d '{"vertices":[0,1,2]}'
 //	nsload -addr localhost:8090 -requests 500 -concurrency 8
+//	nstat -addr localhost:8090
+//
+// Every query response carries a Server-Timing header with the request's
+// queue/cache/extract/compute breakdown and an X-NS-Trace-Id correlating it
+// with latency-histogram exemplars and the -trace Chrome export.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -52,6 +59,9 @@ func main() {
 		extractW   = flag.Int("extract-workers", 2, "extraction (graph walk) pool size")
 		computeW   = flag.Int("compute-workers", 2, "compute (NN forward) pool size")
 
+		watchSpec = flag.String("watch-rules", "", "serving SLO rules, e.g. 'slo_p99=250ms,hitrate=0.3,slo_window=30s' (empty disables)")
+		trace     = flag.String("trace", "", "write a Chrome trace of the extract/compute pools to this file on shutdown")
+
 		logJSON  = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
@@ -62,6 +72,10 @@ func main() {
 	fail := func(err error) {
 		log.Error("fatal", "err", err)
 		os.Exit(1)
+	}
+	rules, err := obs.ParseWatchRules(*watchSpec)
+	if err != nil {
+		fail(fmt.Errorf("-watch-rules: %w", err))
 	}
 	if *loadModel == "" && *trainN <= 0 {
 		fail(fmt.Errorf("need a model: pass -load-model FILE or -train EPOCHS"))
@@ -111,17 +125,44 @@ func main() {
 	cfg.ExtractWorkers = *extractW
 	cfg.ComputeWorkers = *computeW
 	cfg.Seed = *seed
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		fail(err)
 	}
 	defer srv.Close()
 
+	// The observability plane: constant build-info gauge, a 1s-sampled metric
+	// history behind /timeline, and the SLO watchdog evaluated on every
+	// sample behind /healthwatch.
+	obs.RegisterBuildInfo(obs.Default())
+	hist := obs.NewHistory(obs.Default(), 0)
+	watch := obs.NewWatchdog(rules, log, obs.Default())
+	if rules.Enabled() {
+		hist.SetOnSample(func() { watch.EvaluateSLO(hist) })
+	}
+	hist.Start(obs.DefaultHistoryStep)
+	defer hist.Stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/timeline", obs.TimelineHandler(hist))
+	mux.HandleFunc("/healthwatch", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(watch.Health())
+	})
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fail(err)
@@ -130,7 +171,8 @@ func main() {
 	log.Info("serving", "addr", ln.Addr().String(), "model", *model,
 		"version", srv.ModelVersion(), "max_batch", *maxBatch, "max_wait", maxWait.String(),
 		"cache_bytes", *cacheBytes, "extract_workers", *extractW, "compute_workers", *computeW,
-		"endpoints", "/predict /embed /linkscore /stats /healthz /metrics")
+		"watch_rules", *watchSpec,
+		"endpoints", "/predict /embed /linkscore /stats /timeline /healthwatch /healthz /metrics")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -138,7 +180,34 @@ func main() {
 	log.Info("shutting down")
 	_ = hs.Close()
 	srv.Close()
+	if tracer != nil {
+		if err := writeServeTrace(*trace, tracer, *extractW); err != nil {
+			log.Error("trace export failed", "path", *trace, "err", err)
+		} else {
+			log.Info("trace written", "path", *trace, "spans", len(tracer.Snapshot()))
+		}
+	}
 	st := srv.Stats()
 	log.Info("served", "requests", st.Requests, "errors", st.Errors,
 		"batches", st.Batches, "cache_hits", st.Cache.Hits, "cache_misses", st.Cache.Misses)
+}
+
+// writeServeTrace exports the serving pools' spans as a Chrome trace, naming
+// the rows after their pool: extract workers first, compute workers after
+// (the row layout serve.Config.Tracer documents).
+func writeServeTrace(path string, tracer *obs.Tracer, extractWorkers int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f, func(worker int) string {
+		if worker < extractWorkers {
+			return fmt.Sprintf("extract-%d", worker)
+		}
+		return fmt.Sprintf("compute-%d", worker-extractWorkers)
+	}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -65,7 +65,7 @@ func main() {
 		trace     = flag.String("trace", "", "write a Chrome trace of worker activity to this file")
 		critPath  = flag.Bool("critpath", false, "record causal traces and report each epoch's critical path and stragglers")
 		watchSpec = flag.String("watch-rules", "", "anomaly watchdog rules, e.g. 'stall=30s,regress=1.5,straggler=3.0' or 'default'")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /epochs, /critpath, /healthwatch, /healthz and pprof on this address (e.g. :8080)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /epochs, /critpath, /healthwatch, /timeline, /healthz and pprof on this address (e.g. :8080)")
 		logJSON   = flag.Bool("log-json", false, "emit log lines as JSON instead of key=value text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
@@ -142,18 +142,23 @@ func main() {
 	}
 
 	if *debugAddr != "" {
+		obs.RegisterBuildInfo(obs.Default())
+		// Periodic sampling keeps /timeline moving between epoch barriers
+		// (long epochs would otherwise leave the dashboard flat).
+		s.MetricHistory().Start(obs.DefaultHistoryStep)
 		srv, err := obs.NewServer(*debugAddr, obs.Default(), obs.Endpoints{
 			Status:      func() any { return s.Status() },
 			Epochs:      func() any { return s.FlightTimeline() },
 			CritPath:    func() any { return s.CritPathTimeline() },
 			HealthWatch: func() any { return s.HealthWatch() },
+			History:     s.MetricHistory(),
 		})
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
 		log.Info("debug server listening", "addr", srv.Addr(),
-			"endpoints", "/metrics /status /epochs /critpath /healthwatch /healthz /debug/pprof/")
+			"endpoints", "/metrics /status /epochs /critpath /healthwatch /timeline /healthz /debug/pprof/")
 	}
 
 	cached, communicated := s.DependencySummary()

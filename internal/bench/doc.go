@@ -185,6 +185,23 @@ type ServingSummary struct {
 	// counters, so a warm server still reports this window's behaviour).
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// Stages is the per-stage latency breakdown parsed from the server's
+	// Server-Timing response headers, keyed by stage name (queue, cache,
+	// extract, compute, total). Absent when the server predates the header.
+	Stages map[string]StageQuantiles `json:"stages,omitempty"`
+	// StageCoverage is mean(queue+cache+extract+compute) over mean
+	// client-observed latency: how much of what the client waited for the
+	// server can account for (the remainder is HTTP transport and
+	// encode/decode). Zero when Stages is absent.
+	StageCoverage float64 `json:"stage_coverage,omitempty"`
+}
+
+// StageQuantiles summarises one pipeline stage's latency over a load run,
+// in milliseconds.
+type StageQuantiles struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
 }
 
 // Doc is the top-level BENCH.json document.

@@ -112,6 +112,11 @@ type Options struct {
 	// every epoch (see obs.FlightRecorder). Nil disables all recording paths
 	// at zero cost.
 	Recorder *obs.FlightRecorder
+	// History, when non-nil, takes a whole-registry metric snapshot at every
+	// epoch barrier — the natural sampling point of a training run, where the
+	// per-epoch gauges have just advanced. Periodic sampling between barriers
+	// is the history's own Start; this hook only adds the barrier alignment.
+	History *obs.History
 	// Pool, when non-nil, recycles training-time tensor storage (tape
 	// intermediates, gradients, message payloads) through per-worker arenas
 	// released at each epoch barrier. Nil reproduces the allocate-per-call
@@ -411,6 +416,7 @@ func (e *Engine) RunEpoch() EpochStats {
 	}
 	rec.EndEpoch(wall, st.Loss)
 	e.exportFlows(rec)
+	e.opts.History.Sample(time.Now())
 	return st
 }
 

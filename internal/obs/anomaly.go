@@ -23,6 +23,19 @@ const (
 	RuleStall     = "stall"
 	RuleRegress   = "regress"
 	RuleStraggler = "straggler"
+	// RuleSLOP99 and RuleSLOHitRate are the serving SLO burn-rate rules,
+	// evaluated against the metric history (EvaluateSLO) rather than the
+	// epoch stream.
+	RuleSLOP99     = "slo_p99"
+	RuleSLOHitRate = "slo_hitrate"
+)
+
+// Serving metric names the SLO rules read from the history. They must match
+// what internal/serve registers.
+const (
+	serveLatencyMetric     = "ns_serve_latency_seconds"
+	serveCacheHitsMetric   = "ns_serve_cache_hits_total"
+	serveCacheMissesMetric = "ns_serve_cache_misses_total"
 )
 
 // WatchRules is the threshold-rule set of a Watchdog. Zero-valued rules are
@@ -39,6 +52,17 @@ type WatchRules struct {
 	// Window is the trailing-median window in epochs; 0 means
 	// defaultWatchWindow.
 	Window int `json:"window,omitempty"`
+	// SLOP99 is the serving latency SLO target: the promise that at most 1%
+	// of requests over the trailing SLOWindow exceed it. EvaluateSLO fires
+	// when the measured tail share burns the budget faster than allowed
+	// (burn rate > 1, i.e. the windowed p99 is above target).
+	SLOP99 time.Duration `json:"slo_p99_seconds,omitempty"`
+	// SLOWindow is the burn-rate evaluation window over the metric history;
+	// 0 means defaultSLOWindow.
+	SLOWindow time.Duration `json:"slo_window_seconds,omitempty"`
+	// HitRate fires when the embedding cache's windowed hit rate
+	// (delta hits / delta lookups over SLOWindow) drops below this floor.
+	HitRate float64 `json:"hitrate,omitempty"`
 }
 
 const (
@@ -48,6 +72,15 @@ const (
 	watchMinHistory = 3
 	// watchAlertKeep bounds retained alerts for /healthwatch.
 	watchAlertKeep = 256
+	// defaultSLOWindow is the burn-rate window when SLOWindow is unset.
+	defaultSLOWindow = 30 * time.Second
+	// sloTailShare is the tolerated tail: "p99 <= target" promises at most
+	// 1% of requests above target, so burn rate = measured share / 1%.
+	sloTailShare = 0.01
+	// sloMinRequests / sloMinLookups gate SLO rules on enough windowed
+	// traffic that the share is signal, not one unlucky request.
+	sloMinRequests = 20
+	sloMinLookups  = 10
 )
 
 // DefaultWatchRules is the rule set selected by the spec "default":
@@ -60,17 +93,48 @@ func DefaultWatchRules() WatchRules {
 // stall_seconds, and a raw time.Duration would marshal as nanoseconds.
 func (r WatchRules) MarshalJSON() ([]byte, error) {
 	type wire struct {
-		StallSeconds float64 `json:"stall_seconds,omitempty"`
-		Regress      float64 `json:"regress,omitempty"`
-		Straggler    float64 `json:"straggler,omitempty"`
-		Window       int     `json:"window,omitempty"`
+		StallSeconds     float64 `json:"stall_seconds,omitempty"`
+		Regress          float64 `json:"regress,omitempty"`
+		Straggler        float64 `json:"straggler,omitempty"`
+		Window           int     `json:"window,omitempty"`
+		SLOP99Seconds    float64 `json:"slo_p99_seconds,omitempty"`
+		SLOWindowSeconds float64 `json:"slo_window_seconds,omitempty"`
+		HitRate          float64 `json:"hitrate,omitempty"`
 	}
-	return json.Marshal(wire{r.Stall.Seconds(), r.Regress, r.Straggler, r.Window})
+	return json.Marshal(wire{r.Stall.Seconds(), r.Regress, r.Straggler, r.Window,
+		r.SLOP99.Seconds(), r.SLOWindow.Seconds(), r.HitRate})
+}
+
+// UnmarshalJSON reads the seconds-valued wire form MarshalJSON writes, so a
+// HealthReport round-trips through JSON (nstat decodes /healthwatch).
+func (r *WatchRules) UnmarshalJSON(data []byte) error {
+	var w struct {
+		StallSeconds     float64 `json:"stall_seconds"`
+		Regress          float64 `json:"regress"`
+		Straggler        float64 `json:"straggler"`
+		Window           int     `json:"window"`
+		SLOP99Seconds    float64 `json:"slo_p99_seconds"`
+		SLOWindowSeconds float64 `json:"slo_window_seconds"`
+		HitRate          float64 `json:"hitrate"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = WatchRules{
+		Stall:     time.Duration(w.StallSeconds * float64(time.Second)),
+		Regress:   w.Regress,
+		Straggler: w.Straggler,
+		Window:    w.Window,
+		SLOP99:    time.Duration(w.SLOP99Seconds * float64(time.Second)),
+		SLOWindow: time.Duration(w.SLOWindowSeconds * float64(time.Second)),
+		HitRate:   w.HitRate,
+	}
+	return nil
 }
 
 // Enabled reports whether any rule is active.
 func (r WatchRules) Enabled() bool {
-	return r.Stall > 0 || r.Regress > 0 || r.Straggler > 0
+	return r.Stall > 0 || r.Regress > 0 || r.Straggler > 0 || r.SLOP99 > 0 || r.HitRate > 0
 }
 
 // window returns the effective trailing-median window.
@@ -85,9 +149,12 @@ func (r WatchRules) window() int {
 // mirroring the fault-spec grammar:
 //
 //	stall=30s,regress=1.5,straggler=3.0,window=8
+//	slo_p99=250ms,hitrate=0.3,slo_window=30s
 //
 // Keys: stall (Go duration > 0), regress (factor > 1), straggler (bound > 1),
-// window (epochs >= watchMinHistory). The literal spec "default" selects
+// window (epochs >= watchMinHistory), slo_p99 (target latency, Go duration
+// > 0), slo_window (burn-rate window, Go duration > 0), hitrate (cache
+// hit-rate floor in (0,1]). The literal spec "default" selects
 // DefaultWatchRules; the empty spec parses to the disabled zero rules.
 // Unknown keys and out-of-range values are errors.
 func ParseWatchRules(spec string) (WatchRules, error) {
@@ -134,8 +201,26 @@ func ParseWatchRules(spec string) (WatchRules, error) {
 				return r, fmt.Errorf("obs: watch rule window=%q: want an integer >= %d", val, watchMinHistory)
 			}
 			r.Window = n
+		case RuleSLOP99:
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return r, fmt.Errorf("obs: watch rule slo_p99=%q: want a positive duration like 250ms", val)
+			}
+			r.SLOP99 = d
+		case "slo_window":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return r, fmt.Errorf("obs: watch rule slo_window=%q: want a positive duration like 30s", val)
+			}
+			r.SLOWindow = d
+		case "hitrate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return r, fmt.Errorf("obs: watch rule hitrate=%q: want a floor in (0,1]", val)
+			}
+			r.HitRate = f
 		default:
-			return r, fmt.Errorf("obs: unknown watch rule %q (want stall, regress, straggler or window)", key)
+			return r, fmt.Errorf("obs: unknown watch rule %q (want stall, regress, straggler, window, slo_p99, slo_window or hitrate)", key)
 		}
 	}
 	return r, nil
@@ -179,7 +264,10 @@ type Watchdog struct {
 	lastEpoch    int
 	lastEpochAt  time.Time
 	stallAlerted bool
-	now          func() time.Time // test hook
+	// sloBreached latches each SLO rule while its breach persists: one alert
+	// per episode, re-armed when the window recovers.
+	sloBreached map[string]bool
+	now         func() time.Time // test hook
 }
 
 // NewWatchdog returns a watchdog with the given rules, logging alerts to log
@@ -309,6 +397,121 @@ func (w *Watchdog) record(fired []Alert) {
 				"Watchdog alerts fired, by rule.", "rule").With(a.Rule).Inc()
 		}
 	}
+}
+
+// EvaluateSLO runs the serving SLO burn-rate rules against the metric
+// history and returns any alerts fired. Unlike the instant threshold rules,
+// these read windowed deltas: the latency rule computes the share of
+// requests above the SLOP99 target from the bucket increase over SLOWindow
+// (burn rate = share / 1%, fires above 1), the hit-rate rule the windowed
+// delta hit rate against the HitRate floor. Each rule is latched per breach
+// episode — it re-arms only after a window that meets the SLO — so a
+// sustained breach produces one alert, not one per sample. Intended as the
+// history's on-sample hook:
+//
+//	hist.SetOnSample(func() { watch.EvaluateSLO(hist) })
+func (w *Watchdog) EvaluateSLO(h *History) []Alert {
+	if w == nil || h == nil {
+		return nil
+	}
+	r := w.rules
+	if r.SLOP99 <= 0 && r.HitRate <= 0 {
+		return nil
+	}
+	window := r.SLOWindow
+	if window <= 0 {
+		window = defaultSLOWindow
+	}
+	w.mu.Lock()
+	now := w.now()
+	if w.sloBreached == nil {
+		w.sloBreached = make(map[string]bool)
+	}
+	var fired []Alert
+	if r.SLOP99 > 0 {
+		if first, last, dt, ok := h.windowEnds(serveLatencyMetric, window); ok {
+			delta, sum, cnt := histogramDelta(&first, &last)
+			if cnt >= sloMinRequests {
+				over := countAboveBuckets(last.Upper, delta, r.SLOP99.Seconds())
+				share := over / float64(cnt)
+				burn := share / sloTailShare
+				if burn > 1 {
+					if !w.sloBreached[RuleSLOP99] {
+						w.sloBreached[RuleSLOP99] = true
+						p99 := bucketQuantile(last.Upper, delta, sum, 0.99)
+						fired = append(fired, Alert{
+							Rule: RuleSLOP99, Epoch: -1, Worker: -1,
+							Value: burn, Bound: 1,
+							Message: fmt.Sprintf(
+								"serving p99 %.2fms over %.0fs window exceeds SLO %.2fms: %.1f%% of %d requests above target (burn %.1fx)",
+								p99*1e3, dt.Seconds(), r.SLOP99.Seconds()*1e3,
+								share*100, cnt, burn),
+							At: now,
+						})
+					}
+				} else {
+					w.sloBreached[RuleSLOP99] = false
+				}
+			}
+		}
+	}
+	if r.HitRate > 0 {
+		hFirst, hLast, _, okH := h.windowEnds(serveCacheHitsMetric, window)
+		mFirst, mLast, _, okM := h.windowEnds(serveCacheMissesMetric, window)
+		if okH && okM {
+			hits := counterIncrease(hFirst.Value, hLast.Value)
+			misses := counterIncrease(mFirst.Value, mLast.Value)
+			if lookups := hits + misses; lookups >= sloMinLookups {
+				rate := hits / lookups
+				if rate < r.HitRate {
+					if !w.sloBreached[RuleSLOHitRate] {
+						w.sloBreached[RuleSLOHitRate] = true
+						fired = append(fired, Alert{
+							Rule: RuleSLOHitRate, Epoch: -1, Worker: -1,
+							Value: rate, Bound: r.HitRate,
+							Message: fmt.Sprintf(
+								"cache hit rate %.1f%% over %.0fs window below floor %.1f%% (%d lookups)",
+								rate*100, window.Seconds(), r.HitRate*100, int64(lookups)),
+							At: now,
+						})
+					}
+				} else {
+					w.sloBreached[RuleSLOHitRate] = false
+				}
+			}
+		}
+	}
+	w.record(fired)
+	log := w.log
+	w.mu.Unlock()
+	emit(log, fired)
+	return fired
+}
+
+// countAboveBuckets estimates how many observations exceed t from per-bucket
+// (non-cumulative) counts, interpolating linearly inside the bucket that
+// contains t. Observations in the +Inf bucket all count as above any finite
+// t at or past the top bound — they are only known to exceed it.
+func countAboveBuckets(upper []float64, counts []uint64, t float64) float64 {
+	var above float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = upper[i-1]
+		}
+		switch {
+		case i == len(upper) || lower >= t:
+			above += float64(c)
+		case upper[i] <= t:
+			// whole bucket at or below the target
+		default:
+			above += float64(c) * (upper[i] - t) / (upper[i] - lower)
+		}
+	}
+	return above
 }
 
 // emit logs fired alerts outside w.mu (the logger takes its own lock).

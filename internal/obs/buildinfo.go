@@ -1,0 +1,39 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo sets the ns_build_info gauge on reg (Default() when nil):
+// the conventional constant-1 info metric whose labels identify the running
+// binary — module version, VCS commit (short) and Go toolchain — so a scrape
+// of any NeutronStar process says what is actually deployed. Values default
+// to "unknown" when the binary was built without module or VCS metadata
+// (e.g. `go run` from a dirty tree). Safe to call more than once.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	version, commit, goVersion := buildInfo()
+	reg.GaugeVec("ns_build_info",
+		"Build metadata of the running binary; always 1.",
+		"version", "commit", "go_version").With(version, commit, goVersion).Set(1)
+}
+
+// buildInfo extracts (version, commit, go-version) from the binary's
+// embedded module metadata.
+func buildInfo() (version, commit, goVersion string) {
+	version, commit, goVersion = "unknown", "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	goVersion = bi.GoVersion
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			commit = s.Value[:12]
+		}
+	}
+	return
+}

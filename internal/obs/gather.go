@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Gathering turns the live registry into plain data: one SeriesSnapshot per
+// labeled series, ordered by family name then label values. The metric
+// history samples these into its ring buffer, and the OpenMetrics writer
+// renders them with exemplars — both consumers want a consistent point-in-
+// time view without holding registry locks while they work.
+
+// SeriesSnapshot is one series' instantaneous state. Counters and gauges
+// carry Value; histograms carry Count/Sum plus the per-bucket breakdown
+// (Buckets are non-cumulative, len(Upper)+1 with the +Inf bucket last) and
+// any bucket exemplars. Upper aliases the family's bound slice, which is
+// immutable after registration.
+type SeriesSnapshot struct {
+	Name        string
+	Kind        string // "counter", "gauge" or "histogram"
+	LabelNames  []string
+	LabelValues []string
+	Value       float64
+	Count       uint64
+	Sum         float64
+	Upper       []float64
+	Buckets     []uint64
+	Exemplars   []*Exemplar
+}
+
+// Key identifies the series across snapshots: the family name plus the
+// label values joined on a byte no label value may contain.
+func (s *SeriesSnapshot) Key() string {
+	if len(s.LabelValues) == 0 {
+		return s.Name
+	}
+	return s.Name + "\xff" + strings.Join(s.LabelValues, "\xff")
+}
+
+// Labels renders the label set as a map (nil for an unlabeled series).
+func (s *SeriesSnapshot) Labels() map[string]string {
+	if len(s.LabelNames) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(s.LabelNames))
+	for i, n := range s.LabelNames {
+		m[n] = s.LabelValues[i]
+	}
+	return m
+}
+
+// Quantile estimates the p-quantile of a histogram snapshot (0 for other
+// kinds or an empty histogram), with the same interpolating estimator as
+// Histogram.Quantile.
+func (s *SeriesSnapshot) Quantile(p float64) float64 {
+	if s.Kind != "histogram" {
+		return 0
+	}
+	return bucketQuantile(s.Upper, s.Buckets, s.Sum, p)
+}
+
+// Gather snapshots every series in the registry, sorted by family name then
+// label values. Under concurrent updates each series is individually
+// consistent (its values were loaded together), like any monitoring read.
+func (r *Registry) Gather() []SeriesSnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var out []SeriesSnapshot
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			se := f.series[k]
+			snap := SeriesSnapshot{
+				Name:        f.name,
+				Kind:        f.kind.String(),
+				LabelNames:  f.labelNames,
+				LabelValues: se.labelValues,
+			}
+			switch f.kind {
+			case counterKind:
+				snap.Value = se.c.Value()
+			case gaugeKind:
+				snap.Value = se.g.Value()
+			case histogramKind:
+				snap.Count = se.h.Count()
+				snap.Sum = se.h.Sum()
+				snap.Upper = se.h.upper
+				snap.Buckets = se.h.bucketCounts()
+				snap.Exemplars = se.h.Exemplars()
+			}
+			out = append(out, snap)
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// WriteOpenMetrics renders the registry in OpenMetrics 1.0 text format: like
+// the classic exposition but with counter families declared under their base
+// name (the _total suffix stays on the sample), bucket exemplars rendered as
+// "# {trace_id=...} value timestamp" payloads, and a terminating # EOF line.
+// Exemplars are the reason this format exists here — they are not expressible
+// in the 0.0.4 text format.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+	var lastFamily string
+	for _, s := range r.Gather() {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			base := s.Name
+			if s.Kind == "counter" {
+				base = strings.TrimSuffix(base, "_total")
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, s.Kind)
+		}
+		switch s.Kind {
+		case "counter", "gauge":
+			writeSample(&b, s.Name, s.LabelNames, s.LabelValues, "", "", s.Value)
+		case "histogram":
+			var cum uint64
+			for i, upper := range s.Upper {
+				cum += s.Buckets[i]
+				writeExemplarSample(&b, s.Name+"_bucket", s.LabelNames, s.LabelValues,
+					formatFloat(upper), float64(cum), s.Exemplars[i])
+			}
+			cum += s.Buckets[len(s.Upper)]
+			writeExemplarSample(&b, s.Name+"_bucket", s.LabelNames, s.LabelValues,
+				"+Inf", float64(cum), s.Exemplars[len(s.Upper)])
+			writeSample(&b, s.Name+"_sum", s.LabelNames, s.LabelValues, "", "", s.Sum)
+			writeSample(&b, s.Name+"_count", s.LabelNames, s.LabelValues, "", "", float64(s.Count))
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeExemplarSample renders one _bucket line, appending the OpenMetrics
+// exemplar payload when the bucket has one.
+func writeExemplarSample(b *strings.Builder, name string, labelNames, labelValues []string, le string, v float64, ex *Exemplar) {
+	if ex == nil {
+		writeSample(b, name, labelNames, labelValues, "le", le, v)
+		return
+	}
+	var line strings.Builder
+	writeSample(&line, name, labelNames, labelValues, "le", le, v)
+	s := strings.TrimSuffix(line.String(), "\n")
+	fmt.Fprintf(b, "%s # {trace_id=%q} %s %.3f\n",
+		s, ex.TraceID, formatFloat(ex.Value), float64(ex.UnixNano)/1e9)
+}
+
+// openMetricsContentType is the scrape content type of the OpenMetrics text
+// format; textContentType is the classic 0.0.4 exposition.
+const (
+	openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+	textContentType        = "text/plain; version=0.0.4; charset=utf-8"
+)
+
+// MetricsHandler serves the registry as a /metrics endpoint with correct
+// content negotiation: scrapers that accept application/openmetrics-text get
+// the OpenMetrics rendering (which carries histogram exemplars), everything
+// else gets the classic text format under its proper versioned content type.
+// A nil registry serves Default(). Both the obs debug server and the serving
+// HTTP API mount this handler, so every process exposes metrics identically.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			reg = Default()
+		}
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", textContentType)
+		_ = reg.WritePrometheus(w)
+	}
+}
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format (parameters like version are ignored).
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The metric registry: counters, gauges and fixed-bucket histograms with
@@ -113,6 +114,16 @@ func (g *Gauge) Value() float64 {
 	return g.v.Load()
 }
 
+// Exemplar ties one concrete observation to the trace that produced it: a
+// latency bucket alone says "something landed here", the exemplar says which
+// request, so a p99 spike links to an inspectable trace. TraceID is an opaque
+// caller-chosen id string (serving uses the request trace id in hex).
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  string  `json:"trace_id"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
 // Histogram counts observations into fixed buckets. upper holds the
 // ascending finite bucket bounds; the +Inf bucket is implicit. A nil
 // *Histogram is a no-op.
@@ -121,6 +132,9 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
 	sum    atomicFloat
 	n      atomic.Uint64
+	// exemplars holds the most recent traced observation per bucket (nil
+	// entry = no traced observation landed there yet). Same length as counts.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // Observe records one sample.
@@ -134,6 +148,45 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+}
+
+// ObserveWithExemplar records one sample and remembers (value, traceID, now)
+// as the bucket's exemplar, replacing any previous one — each bucket keeps
+// its most recent traced observation, so the tail buckets always point at a
+// fresh outlier trace.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string, at time.Time) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNano: at.UnixNano()})
+	}
+}
+
+// Exemplars returns the per-bucket exemplars (len(buckets)+1 entries, +Inf
+// last); nil entries mean no traced observation landed in that bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// bucketCounts loads the per-bucket (non-cumulative) counts.
+func (h *Histogram) bucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -160,10 +213,22 @@ func (h *Histogram) Sum() float64 {
 // known only to exceed it). Returns 0 for an empty histogram. Under
 // concurrent Observe the estimate is approximate, like any monitoring read.
 func (h *Histogram) Quantile(p float64) float64 {
-	if h == nil {
+	if h == nil || h.n.Load() == 0 {
 		return 0
 	}
-	n := h.n.Load()
+	return bucketQuantile(h.upper, h.bucketCounts(), h.Sum(), p)
+}
+
+// bucketQuantile is the interpolating estimator behind Histogram.Quantile,
+// shared with the metric history's windowed (delta-count) quantiles. counts
+// are per-bucket (non-cumulative), len(upper)+1 with +Inf last; sum is only
+// consulted for the degenerate no-finite-buckets case, where the mean is the
+// only estimate available. Returns 0 when counts are all zero.
+func bucketQuantile(upper []float64, counts []uint64, sum, p float64) float64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
 	if n == 0 {
 		return 0
 	}
@@ -175,32 +240,31 @@ func (h *Histogram) Quantile(p float64) float64 {
 	}
 	rank := p * float64(n)
 	var cum float64
-	for i := range h.counts {
-		c := float64(h.counts[i].Load())
+	for i, cn := range counts {
+		c := float64(cn)
 		if c == 0 {
 			continue
 		}
 		if cum+c >= rank {
-			if i == len(h.upper) {
+			if i == len(upper) {
 				// +Inf bucket: no finite upper bound to interpolate toward.
-				if len(h.upper) == 0 {
-					return h.Sum() / float64(n)
+				if len(upper) == 0 {
+					return sum / float64(n)
 				}
-				return h.upper[len(h.upper)-1]
+				return upper[len(upper)-1]
 			}
 			lower := 0.0
 			if i > 0 {
-				lower = h.upper[i-1]
+				lower = upper[i-1]
 			}
-			return lower + (h.upper[i]-lower)*((rank-cum)/c)
+			return lower + (upper[i]-lower)*((rank-cum)/c)
 		}
 		cum += c
 	}
-	// Racing observations moved the total under us; report the top bound.
-	if len(h.upper) == 0 {
-		return h.Sum() / float64(n)
+	if len(upper) == 0 {
+		return sum / float64(n)
 	}
-	return h.upper[len(h.upper)-1]
+	return upper[len(upper)-1]
 }
 
 // ExpBuckets returns n exponentially growing bucket bounds starting at
@@ -271,8 +335,9 @@ func (f *family) get(values []string) *series {
 		s.g = &Gauge{}
 	case histogramKind:
 		s.h = &Histogram{
-			upper:  f.buckets,
-			counts: make([]atomic.Uint64, len(f.buckets)+1),
+			upper:     f.buckets,
+			counts:    make([]atomic.Uint64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
 		}
 	}
 	f.series[key] = s

@@ -12,12 +12,15 @@ import (
 // liveness probe, JSON snapshots, and the stdlib pprof profiles on one
 // listener. Endpoints:
 //
-//	/metrics       Prometheus text exposition of the registry
+//	/metrics       registry exposition (classic text or OpenMetrics with
+//	               exemplars, negotiated via Accept)
 //	/healthz       200 "ok" liveness probe
 //	/status        JSON snapshot from the Status callback
 //	/epochs        JSON flight-recorder timeline from the Epochs callback
 //	/critpath      JSON per-epoch critical paths from the CritPath callback
 //	/healthwatch   JSON watchdog HealthReport from the HealthWatch callback
+//	/timeline      windowed metric time series from the History (404 when no
+//	               history is wired)
 //	/debug/pprof/  net/http/pprof index (profile, heap, goroutine, trace, …)
 type Server struct {
 	ln  net.Listener
@@ -37,6 +40,9 @@ type Endpoints struct {
 	CritPath func() any
 	// HealthWatch serves /healthwatch: the watchdog's HealthReport.
 	HealthWatch func() any
+	// History, when non-nil, serves /timeline: windowed time series of every
+	// registry metric (see TimelineHandler for the query grammar).
+	History *History
 }
 
 // NewServer binds addr (":8080", "127.0.0.1:0", …) and serves in the
@@ -61,10 +67,7 @@ func NewServer(addr string, reg *Registry, eps Endpoints) (*Server, error) {
 		}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -73,6 +76,9 @@ func NewServer(addr string, reg *Registry, eps Endpoints) (*Server, error) {
 	mux.HandleFunc("/epochs", serveJSON(eps.Epochs))
 	mux.HandleFunc("/critpath", serveJSON(eps.CritPath))
 	mux.HandleFunc("/healthwatch", serveJSON(eps.HealthWatch))
+	if eps.History != nil {
+		mux.HandleFunc("/timeline", TimelineHandler(eps.History))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -6,6 +6,17 @@ import (
 	"time"
 )
 
+// Flush reasons, the label values of ns_serve_batcher_flushes_total: the
+// batch filled (max_batch), the oldest request hit its latency bound
+// (max_wait), or the server shut down with requests pending (close). The
+// max_batch:max_wait ratio is the live signal for whether MaxBatch/MaxWait
+// are tuned to the offered load.
+const (
+	flushMaxBatch = "max_batch"
+	flushMaxWait  = "max_wait"
+	flushClose    = "close"
+)
+
 // batcher is the latency/throughput micro-batcher between the HTTP front
 // and the extraction pool. Requests accumulate until either the pending
 // batch covers maxBatch queried vertices or the oldest request has waited
@@ -19,7 +30,11 @@ import (
 type batcher struct {
 	maxBatch int
 	maxWait  time.Duration
-	flush    func([]*work)
+	flush    func(items []*work, reason string)
+	// depth, when non-nil, observes the pending request count after every
+	// change (it feeds the queue-depth gauge). Called with mu held — it must
+	// not call back into the batcher.
+	depth func(n int)
 
 	mu      sync.Mutex
 	pending []*work
@@ -30,7 +45,7 @@ type batcher struct {
 	closed bool
 }
 
-func newBatcher(maxBatch int, maxWait time.Duration, flush func([]*work)) *batcher {
+func newBatcher(maxBatch int, maxWait time.Duration, flush func([]*work, string)) *batcher {
 	return &batcher{maxBatch: maxBatch, maxWait: maxWait, flush: flush}
 }
 
@@ -50,9 +65,10 @@ func (b *batcher) Submit(w *work) error {
 	} else if len(b.pending) == 1 {
 		b.timer = time.AfterFunc(b.maxWait, b.timedFlush)
 	}
+	b.notifyDepth()
 	b.mu.Unlock()
 	if items != nil {
-		b.flush(items)
+		b.flush(items, flushMaxBatch)
 	}
 	return nil
 }
@@ -69,13 +85,21 @@ func (b *batcher) take() []*work {
 	return items
 }
 
+// notifyDepth reports the pending count to the depth observer. Callers hold mu.
+func (b *batcher) notifyDepth() {
+	if b.depth != nil {
+		b.depth(len(b.pending))
+	}
+}
+
 // timedFlush fires when the oldest pending request has waited maxWait.
 func (b *batcher) timedFlush() {
 	b.mu.Lock()
 	items := b.take()
+	b.notifyDepth()
 	b.mu.Unlock()
 	if len(items) > 0 {
-		b.flush(items)
+		b.flush(items, flushMaxWait)
 	}
 }
 
@@ -86,8 +110,9 @@ func (b *batcher) Close() {
 	b.mu.Lock()
 	b.closed = true
 	items := b.take()
+	b.notifyDepth()
 	b.mu.Unlock()
 	if len(items) > 0 {
-		b.flush(items)
+		b.flush(items, flushClose)
 	}
 }

@@ -9,18 +9,26 @@ import (
 type flushLog struct {
 	mu      sync.Mutex
 	batches [][]*work
+	reasons []string
 }
 
-func (l *flushLog) flush(items []*work) {
+func (l *flushLog) flush(items []*work, reason string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.batches = append(l.batches, items)
+	l.reasons = append(l.reasons, reason)
 }
 
 func (l *flushLog) snapshot() [][]*work {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([][]*work(nil), l.batches...)
+}
+
+func (l *flushLog) reasonLog() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.reasons...)
 }
 
 func workOf(verts ...int32) *work {
@@ -60,6 +68,9 @@ func TestBatcherMaxWaitFlushesSingleRequest(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	if rs := log.reasonLog(); rs[0] != flushMaxWait {
+		t.Fatalf("timer flush reason = %q, want %q", rs[0], flushMaxWait)
+	}
 	b.Close()
 }
 
@@ -86,6 +97,9 @@ func TestBatcherFlushesAtExactMaxBatch(t *testing.T) {
 	b.Close()
 	if got := log.snapshot(); len(got) != 2 || len(got[1]) != 1 {
 		t.Fatalf("close did not flush the pending request: %+v", got)
+	}
+	if rs := log.reasonLog(); rs[0] != flushMaxBatch || rs[1] != flushClose {
+		t.Fatalf("flush reasons = %v, want [%s %s]", rs, flushMaxBatch, flushClose)
 	}
 }
 

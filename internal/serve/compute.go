@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"neutronstar/internal/autograd"
 	"neutronstar/internal/nn"
 	"neutronstar/internal/tensor"
@@ -73,6 +75,7 @@ func (s *Server) compute(asm *assembled, model *nn.Model) {
 			emit(n + int32(k))
 		}
 		w.res = &Result{Version: asm.version, Logits: logits, Embeds: embeds}
+		w.trace.finished = time.Now()
 		close(w.done)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"neutronstar/internal/nn"
 	"neutronstar/internal/sampler"
@@ -105,6 +106,9 @@ func (s *Server) extract(j *job, model *nn.Model, version uint64) (*assembled, e
 		}
 	}
 	o := &overlay{s: s, virt: virt, n: int32(s.cfg.Graph.NumVertices())}
+	// cacheNanos carves the embedding-cache lookup time out of the extract
+	// stage for the per-request breakdown.
+	var cacheNanos int64
 
 	// Merge every item's queried vertices into one sorted seed frontier.
 	seedSet := make(map[int32]struct{})
@@ -161,14 +165,20 @@ func (s *Server) extract(j *job, model *nn.Model, version uint64) (*assembled, e
 		// Sources whose layer-l row the cache holds are not expanded below.
 		b.cached = make([][]float32, len(b.srcs))
 		next := make([]int32, 0, len(b.srcs))
-		for i, v := range b.srcs {
-			if exact && v < o.n {
-				if row := s.cache.Get(l, v); row != nil {
-					b.cached[i] = row
-					continue
+		if exact {
+			lookupStart := time.Now()
+			for i, v := range b.srcs {
+				if v < o.n {
+					if row := s.cache.Get(l, v); row != nil {
+						b.cached[i] = row
+						continue
+					}
 				}
+				next = append(next, v)
 			}
-			next = append(next, v)
+			cacheNanos += time.Since(lookupStart).Nanoseconds()
+		} else {
+			next = append(next, b.srcs...)
 		}
 		need = next
 	}
@@ -188,12 +198,13 @@ func (s *Server) extract(j *job, model *nn.Model, version uint64) (*assembled, e
 	}
 
 	return &assembled{
-		items:   j.items,
-		version: version,
-		model:   model,
-		gen:     gen,
-		plan:    &plan{blocks: blocks, feats: feats},
-		exact:   exact,
+		items:      j.items,
+		version:    version,
+		cacheNanos: cacheNanos,
+		model:      model,
+		gen:        gen,
+		plan:       &plan{blocks: blocks, feats: feats},
+		exact:      exact,
 	}, nil
 }
 

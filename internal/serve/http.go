@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 
+	"neutronstar/internal/obs"
 	"neutronstar/internal/tensor"
 )
 
@@ -16,7 +17,14 @@ import (
 //	POST /linkscore  pairs of vertices -> sigmoid(dot) link scores
 //	GET  /stats      live Stats JSON
 //	GET  /healthz    200 "ok" liveness probe
-//	GET  /metrics    Prometheus text exposition of the configured registry
+//	GET  /metrics    registry exposition (classic text or OpenMetrics with
+//	                 exemplars, negotiated via Accept)
+//
+// Query responses carry the request's per-stage latency breakdown on a
+// Server-Timing header (queue/cache/extract/compute/total, milliseconds) and
+// the pipeline trace id on X-NS-Trace-Id — response bodies are unchanged, so
+// existing clients are unaffected while nsload and browsers get the
+// breakdown for free.
 //
 // /metrics and /healthz mirror the obs debug server's endpoints so the same
 // scrape configs work against a serving process.
@@ -32,11 +40,15 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.cfg.Registry.WritePrometheus(w)
-	})
+	mux.HandleFunc("/metrics", obs.MetricsHandler(s.cfg.Registry))
 	return mux
+}
+
+// setTimingHeaders attaches a completed query's stage breakdown to the
+// response. Must run before the first body write.
+func setTimingHeaders(h http.Header, t StageTiming) {
+	h.Set("Server-Timing", t.ServerTiming())
+	h.Set("X-NS-Trace-Id", t.TraceIDHex())
 }
 
 // PredictResponse answers /predict.
@@ -82,6 +94,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Labels:       argmaxRows(res.Logits),
 		Logits:       copyRows(res.Logits),
 	}
+	setTimingHeaders(w.Header(), res.Timing)
 	writeJSON(w, out)
 }
 
@@ -95,6 +108,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	setTimingHeaders(w.Header(), res.Timing)
 	writeJSON(w, EmbedResponse{ModelVersion: res.Version, Embeddings: copyRows(res.Embeds)})
 }
 
@@ -128,6 +142,7 @@ func (s *Server) handleLinkScore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	setTimingHeaders(w.Header(), res.Timing)
 	out := LinkResponse{ModelVersion: res.Version, Scores: make([]float64, len(lr.Pairs))}
 	for k, p := range lr.Pairs {
 		a, b := res.Embeds.Row(pos[p[0]]), res.Embeds.Row(pos[p[1]])

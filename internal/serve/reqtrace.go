@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Per-request causal tracing: every query carries a reqTrace through the
+// pipeline, stamped at each stage boundary. The stamps partition the server's
+// wall time for the request into four stages that sum to the pipeline total:
+//
+//	queue   = (extractStart - submitted) + (computeStart - extractEnd)
+//	        batcher wait plus both channel handoffs — time spent owned by
+//	        nobody
+//	cache   = nanoseconds inside embedding-cache lookups during extraction
+//	extract = extraction work minus the cache share
+//	compute = forward-pass work until the result row is sliced out
+//
+// The breakdown rides back to clients on a Server-Timing header (response
+// bodies stay bit-identical), feeds the ns_serve_stage_seconds histograms,
+// and its trace id is attached as an exemplar to the end-to-end latency
+// histogram so a p99 bucket links to a concrete request.
+
+// Stage names used by the stage histogram's label, the Server-Timing header
+// and the nsload report. StageTotal is the pipeline total (submitted to
+// finished), not a fifth additive stage.
+const (
+	StageQueue   = "queue"
+	StageCache   = "cache"
+	StageExtract = "extract"
+	StageCompute = "compute"
+	StageTotal   = "total"
+)
+
+// reqTrace carries one request's stage boundary stamps through the pipeline.
+// Stamps before the extraction pool are written by the submitting goroutine;
+// later ones by exactly one pool worker, each ordered by the channel handoff
+// that moves the work — no stamp is written concurrently with a read.
+type reqTrace struct {
+	id           uint64
+	submitted    time.Time
+	extractStart time.Time
+	extractEnd   time.Time
+	computeStart time.Time
+	finished     time.Time
+	cacheNanos   int64
+}
+
+// timing folds the stamps into a StageTiming. Requests that failed before
+// reaching a stage report zero for it.
+func (t *reqTrace) timing() StageTiming {
+	st := StageTiming{TraceID: t.id, Cache: time.Duration(t.cacheNanos)}
+	if !t.extractStart.IsZero() {
+		st.Queue = t.extractStart.Sub(t.submitted)
+	}
+	if !t.extractEnd.IsZero() {
+		st.Extract = t.extractEnd.Sub(t.extractStart) - st.Cache
+		if st.Extract < 0 {
+			st.Extract = 0
+		}
+	}
+	if !t.computeStart.IsZero() {
+		st.Queue += t.computeStart.Sub(t.extractEnd)
+	}
+	if !t.finished.IsZero() {
+		st.Compute = t.finished.Sub(t.computeStart)
+		st.Total = t.finished.Sub(t.submitted)
+	}
+	return st
+}
+
+// StageTiming is a request's per-stage latency breakdown. Queue + Cache +
+// Extract + Compute equals Total exactly (all five are carved from the same
+// monotonic stamps); Total is the in-server pipeline time, which is the
+// client-observed latency minus HTTP transport and encode/decode overhead.
+type StageTiming struct {
+	// TraceID is the request's pipeline trace id; its %016x rendering is the
+	// exemplar trace_id on the latency histogram and the X-NS-Trace-Id header.
+	TraceID uint64
+	Queue   time.Duration
+	Cache   time.Duration
+	Extract time.Duration
+	Compute time.Duration
+	Total   time.Duration
+}
+
+// TraceIDHex renders the trace id the way exemplars and headers carry it.
+func (t StageTiming) TraceIDHex() string { return fmt.Sprintf("%016x", t.TraceID) }
+
+// StageSum returns the sum of the four additive stages — equal to Total for
+// a completed request, which is what the stage-attribution test asserts.
+func (t StageTiming) StageSum() time.Duration {
+	return t.Queue + t.Cache + t.Extract + t.Compute
+}
+
+// ServerTiming renders the breakdown as a Server-Timing header value
+// (RFC-style "name;dur=millis" entries, millisecond durations).
+func (t StageTiming) ServerTiming() string {
+	var b strings.Builder
+	writeServerTimingEntry(&b, StageQueue, t.Queue)
+	writeServerTimingEntry(&b, StageCache, t.Cache)
+	writeServerTimingEntry(&b, StageExtract, t.Extract)
+	writeServerTimingEntry(&b, StageCompute, t.Compute)
+	writeServerTimingEntry(&b, StageTotal, t.Total)
+	return b.String()
+}
+
+func writeServerTimingEntry(b *strings.Builder, name string, d time.Duration) {
+	if b.Len() > 0 {
+		b.WriteString(", ")
+	}
+	fmt.Fprintf(b, "%s;dur=%.3f", name, float64(d)/float64(time.Millisecond))
+}
+
+// ParseServerTiming parses a Server-Timing header value back into per-stage
+// durations keyed by stage name. Entries without a dur parameter and
+// malformed entries are skipped — the caller (nsload, tests) treats missing
+// stages as zero.
+func ParseServerTiming(header string) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, entry := range strings.Split(header, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ";")
+		if len(parts) == 0 || parts[0] == "" {
+			continue
+		}
+		name := strings.TrimSpace(parts[0])
+		for _, p := range parts[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || strings.TrimSpace(k) != "dur" {
+				continue
+			}
+			ms, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				continue
+			}
+			out[name] = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+// traceIDs renders the trace ids of a job's items for span attributes,
+// truncated so a huge batch doesn't bloat the trace export.
+func traceIDs(items []*work) string {
+	const max = 8
+	var b strings.Builder
+	for i, w := range items {
+		if i == max {
+			fmt.Fprintf(&b, ",+%d", len(items)-max)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%016x", w.trace.id)
+	}
+	return b.String()
+}

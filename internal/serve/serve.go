@@ -22,6 +22,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,6 +123,11 @@ type Config struct {
 	Seed uint64
 	// Registry receives the serving metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Tracer, when non-nil, records one span per extraction/compute job on
+	// per-worker rows (extract workers first, compute workers after),
+	// annotated with the request trace ids — the serving counterpart of the
+	// training engine's causal timeline, exportable as a Chrome trace.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -181,15 +187,19 @@ type Result struct {
 	// representations (the rows entering the classifier layer).
 	Logits *tensor.Tensor
 	Embeds *tensor.Tensor
+	// Timing is the request's per-stage latency breakdown; its stages sum to
+	// its Total (see StageTiming).
+	Timing StageTiming
 }
 
 // work is one in-flight request: the pipeline fills res/err and closes done.
 type work struct {
-	req  *Request
-	seed uint64
-	res  *Result
-	err  error
-	done chan struct{}
+	req   *Request
+	seed  uint64
+	trace reqTrace
+	res   *Result
+	err   error
+	done  chan struct{}
 }
 
 func (w *work) fail(err error) {
@@ -207,6 +217,9 @@ type job struct {
 type assembled struct {
 	items   []*work
 	version uint64
+	// cacheNanos is the time extraction spent inside embedding-cache lookups
+	// for this job, attributed to every item's cache stage.
+	cacheNanos int64
 	// model is the server's shared snapshot for version; compute workers
 	// clone it into a private replica once per version (tape binding is not
 	// concurrency-safe on a shared model).
@@ -247,11 +260,15 @@ type Server struct {
 }
 
 type serveMetrics struct {
-	requests *obs.Counter
-	errors   *obs.Counter
-	batches  *obs.Counter
-	batchSz  *obs.Histogram
-	latency  *obs.Histogram
+	requests   *obs.Counter
+	errors     *obs.Counter
+	batches    *obs.Counter
+	batchSz    *obs.Histogram
+	latency    *obs.Histogram
+	stage      *obs.HistogramVec
+	queueDepth *obs.Gauge
+	flushes    *obs.CounterVec
+	busy       *obs.CounterVec
 }
 
 // New builds and starts a server: MaxBatch/MaxWait micro-batching in front
@@ -286,14 +303,40 @@ func New(cfg Config) (*Server, error) {
 			batches:  cfg.Registry.Counter("ns_serve_batches_total", "Micro-batches executed."),
 			batchSz:  cfg.Registry.Histogram("ns_serve_batch_queries", "Queries per executed micro-batch.", obs.LinearBuckets(1, 8, 16)),
 			latency:  cfg.Registry.Histogram("ns_serve_latency_seconds", "End-to-end request latency.", obs.ExpBuckets(1e-5, 2.5, 16)),
+			stage: cfg.Registry.HistogramVec("ns_serve_stage_seconds",
+				"Per-request latency by pipeline stage (queue, cache, extract, compute).",
+				obs.ExpBuckets(1e-6, 2.5, 18), "stage"),
+			queueDepth: cfg.Registry.Gauge("ns_serve_batcher_queue_depth",
+				"Requests pending in the micro-batcher."),
+			flushes: cfg.Registry.CounterVec("ns_serve_batcher_flushes_total",
+				"Micro-batch flushes by trigger (max_batch, max_wait, close).", "reason"),
+			busy: cfg.Registry.CounterVec("ns_serve_worker_busy_seconds_total",
+				"Cumulative busy time per pool worker.", "pool", "worker"),
 		},
+	}
+	// Pre-create every label combination the pipeline will emit, so the
+	// series exist (at zero) from the first scrape and the /timeline history
+	// has a baseline sample to difference against instead of a mid-window
+	// birth.
+	for _, st := range []string{StageQueue, StageCache, StageExtract, StageCompute} {
+		s.metrics.stage.With(st)
+	}
+	for _, reason := range []string{flushMaxBatch, flushMaxWait, flushClose} {
+		s.metrics.flushes.With(reason)
+	}
+	for i := 0; i < cfg.ExtractWorkers; i++ {
+		s.metrics.busy.With("extract", strconv.Itoa(i))
+	}
+	for i := 0; i < cfg.ComputeWorkers; i++ {
+		s.metrics.busy.With("compute", strconv.Itoa(i))
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = newEmbedCache(cfg.CacheBytes, cfg.Registry)
 	}
-	s.bat = newBatcher(cfg.MaxBatch, cfg.MaxWait, func(items []*work) {
+	s.bat = newBatcher(cfg.MaxBatch, cfg.MaxWait, func(items []*work, reason string) {
 		s.batches.Add(1)
 		s.metrics.batches.Inc()
+		s.metrics.flushes.With(reason).Inc()
 		n := 0
 		for _, w := range items {
 			n += w.req.numQueries()
@@ -302,13 +345,14 @@ func New(cfg Config) (*Server, error) {
 		s.batched.Add(int64(len(items)))
 		s.extractQ <- &job{items: items}
 	})
+	s.bat.depth = func(n int) { s.metrics.queueDepth.Set(float64(n)) }
 	for i := 0; i < cfg.ExtractWorkers; i++ {
 		s.extWG.Add(1)
-		go s.extractLoop()
+		go s.extractLoop(i)
 	}
 	for i := 0; i < cfg.ComputeWorkers; i++ {
 		s.compWG.Add(1)
-		go s.computeLoop()
+		go s.computeLoop(i)
 	}
 	return s, nil
 }
@@ -359,7 +403,10 @@ func (s *Server) refresh() (*nn.Model, uint64) {
 
 // Query answers one request, blocking until the pipeline completes it.
 // Exact known-vertex requests ride the micro-batcher; sampled and inductive
-// requests run as their own job with a private, request-derived RNG.
+// requests run as their own job with a private, request-derived RNG. The
+// returned Result carries the request's per-stage timing, and the end-to-end
+// latency observation carries the trace id as an exemplar — a histogram
+// outlier links back to a concrete request.
 func (s *Server) Query(req *Request) (*Result, error) {
 	start := time.Now()
 	s.requests.Add(1)
@@ -370,8 +417,17 @@ func (s *Server) Query(req *Request) (*Result, error) {
 		s.metrics.errors.Inc()
 		return nil, err
 	}
-	s.metrics.latency.Observe(time.Since(start).Seconds())
+	s.metrics.latency.ObserveWithExemplar(time.Since(start).Seconds(), res.Timing.TraceIDHex(), time.Now())
+	s.observeStages(res.Timing)
 	return res, nil
+}
+
+// observeStages records one request's breakdown into the stage histograms.
+func (s *Server) observeStages(t StageTiming) {
+	s.metrics.stage.With(StageQueue).Observe(t.Queue.Seconds())
+	s.metrics.stage.With(StageCache).Observe(t.Cache.Seconds())
+	s.metrics.stage.With(StageExtract).Observe(t.Extract.Seconds())
+	s.metrics.stage.With(StageCompute).Observe(t.Compute.Seconds())
 }
 
 func (s *Server) query(req *Request) (*Result, error) {
@@ -383,6 +439,8 @@ func (s *Server) query(req *Request) (*Result, error) {
 	}
 	id := s.reqID.Add(1)
 	w := &work{req: req, done: make(chan struct{})}
+	w.trace.id = id
+	w.trace.submitted = time.Now()
 	if req.sampled() {
 		w.seed = req.Seed
 		if w.seed == 0 {
@@ -394,6 +452,9 @@ func (s *Server) query(req *Request) (*Result, error) {
 		return nil, err
 	}
 	<-w.done
+	if w.res != nil {
+		w.res.Timing = w.trace.timing()
+	}
 	return w.res, w.err
 }
 
@@ -427,17 +488,37 @@ func (s *Server) validate(req *Request) error {
 }
 
 // extractLoop is the extraction pool: k-hop closure walk (or sampling) and
-// feature-row assembly, no NN math.
-func (s *Server) extractLoop() {
+// feature-row assembly, no NN math. idx is the worker's row in the trace
+// timeline and its label in the busy-time counter.
+func (s *Server) extractLoop(idx int) {
 	defer s.extWG.Done()
+	busy := s.metrics.busy.With("extract", strconv.Itoa(idx))
 	for j := range s.extractQ {
+		start := time.Now()
+		for _, w := range j.items {
+			w.trace.extractStart = start
+		}
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			sp = s.cfg.Tracer.Start(idx, obs.ClassNone, "extract",
+				obs.Int("items", len(j.items)), obs.String("trace_ids", traceIDs(j.items)))
+		}
 		model, version := s.refresh()
 		asm, err := s.extract(j, model, version)
+		end := time.Now()
+		if sp != nil {
+			sp.End()
+		}
+		busy.Add(end.Sub(start).Seconds())
 		if err != nil {
 			for _, w := range j.items {
 				w.fail(err)
 			}
 			continue
+		}
+		for _, w := range j.items {
+			w.trace.extractEnd = end
+			w.trace.cacheNanos = asm.cacheNanos
 		}
 		s.computeQ <- asm
 	}
@@ -445,17 +526,33 @@ func (s *Server) extractLoop() {
 
 // computeLoop is the compute pool: batched layer forward passes on a private
 // model replica (tape parameter binding is stateful, so replicas are
-// per-goroutine, re-cloned only when the version moves).
-func (s *Server) computeLoop() {
+// per-goroutine, re-cloned only when the version moves). idx is the worker's
+// index within the pool; its trace row sits after the extraction rows.
+func (s *Server) computeLoop(idx int) {
 	defer s.compWG.Done()
+	busy := s.metrics.busy.With("compute", strconv.Itoa(idx))
+	row := s.cfg.ExtractWorkers + idx
 	var model *nn.Model
 	var version uint64
 	for asm := range s.computeQ {
+		start := time.Now()
+		for _, w := range asm.items {
+			w.trace.computeStart = start
+		}
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			sp = s.cfg.Tracer.Start(row, obs.ClassNone, "compute",
+				obs.Int("items", len(asm.items)), obs.String("trace_ids", traceIDs(asm.items)))
+		}
 		if model == nil || version != asm.version {
 			model = cloneForCompute(asm.model)
 			version = asm.version
 		}
 		s.compute(asm, model)
+		if sp != nil {
+			sp.End()
+		}
+		busy.Add(time.Since(start).Seconds())
 	}
 }
 

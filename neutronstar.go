@@ -292,6 +292,7 @@ type Session struct {
 	store *ckpt.Store
 	rec   *obs.FlightRecorder
 	watch *obs.Watchdog
+	hist  *obs.History
 
 	mu        sync.Mutex
 	lastEpoch int
@@ -329,11 +330,18 @@ func NewSession(ds *Dataset, cfg Config) (*Session, error) {
 		}
 		watch = obs.NewWatchdog(rules, nil, obs.Default())
 	}
+	// Every session keeps a metric history, sampled at each epoch barrier
+	// (engine wiring below); the serving SLO rules evaluate on every sample.
+	hist := obs.NewHistory(obs.Default(), 0)
+	if watch != nil {
+		hist.SetOnSample(func() { watch.EvaluateSLO(hist) })
+	}
+	opts.History = hist
 	eng, err := engine.NewEngine(ds.inner, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{ds: ds, eng: eng, coll: coll, store: store, rec: rec, watch: watch}, nil
+	return &Session{ds: ds, eng: eng, coll: coll, store: store, rec: rec, watch: watch, hist: hist}, nil
 }
 
 // Resume restores the newest snapshot in Config.CkptDir and reports whether
@@ -668,6 +676,12 @@ func (s *Session) CritPathTimeline() any {
 // Config.WatchRules was empty.
 func (s *Session) Watchdog() *obs.Watchdog { return s.watch }
 
+// MetricHistory returns the session's metric time-series ring buffer — the
+// payload source of the debug server's /timeline endpoint. It is sampled at
+// every epoch barrier; call its Start for periodic sampling between epochs
+// (the session's Close stops it either way).
+func (s *Session) MetricHistory() *obs.History { return s.hist }
+
 // HealthWatch returns the watchdog's health report — the payload of the
 // debug server's /healthwatch endpoint. Without a watchdog it reports
 // healthy with no rules.
@@ -760,8 +774,12 @@ func (s *Session) CostSummary() []string {
 // false.
 func (s *Session) Metrics() *metrics.Collector { return s.coll }
 
-// Close tears down the simulated cluster.
-func (s *Session) Close() { s.eng.Close() }
+// Close tears down the simulated cluster and stops the metric history's
+// periodic sampler.
+func (s *Session) Close() {
+	s.hist.Stop()
+	s.eng.Close()
+}
 
 // ServeSource exposes the session's live parameters as a model source for a
 // serve.Server: the version advances with every optimiser step (and on
