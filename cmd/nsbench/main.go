@@ -43,7 +43,7 @@ func main() {
 		graphs    = flag.String("graphs", "", "comma-separated dataset subset (default: experiment-specific)")
 		quick     = flag.Bool("quick", false, "cut-down scale for a fast smoke run")
 		jsonOut   = flag.String("json", "", "write the perf-smoke BENCH.json document to this path and exit (ignores -exp)")
-		policy    = flag.String("policy", "", "with -json, add an extra <policy>-wN run to the pipeline (depcache, depcomm, hybrid, deptp, hybrid3)")
+		policy    = flag.String("policy", "", "with -json, add extra <policy>-wN runs to the pipeline (comma-separated: depcache, depcomm, hybrid, deptp, hybrid3, deprep, hybrid4)")
 		trace     = flag.String("trace", "", "write a Chrome trace of all experiment (or, with -json, bench) engines to this file")
 		critPath  = flag.String("critpath", "", "with -json, also write the per-run critical-path report to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /status, /healthz and pprof on this address (e.g. :8080)")
@@ -152,26 +152,32 @@ func main() {
 // different commits are comparable; only the cluster size is adjustable.
 // tracePath and critPathOut, when non-empty, additionally emit a Chrome
 // trace of the bench engines and a standalone critical-path report.
-func writeBenchDoc(path string, workers int, tracePath, critPathOut, policy string) error {
+func writeBenchDoc(path string, workers int, tracePath, critPathOut, policies string) error {
 	if workers <= 0 {
 		workers = 4
 	}
 	ds := dataset.Load(bench.BenchSpec())
 	specs := bench.DefaultRuns(workers)
-	if policy != "" {
-		extra, err := bench.PolicyRun(policy, workers)
-		if err != nil {
-			return err
-		}
-		dup := false
-		for _, s := range specs {
-			if s.Name == extra.Name {
-				dup = true // already in the default set; don't run it twice
-				break
+	if policies != "" {
+		for _, policy := range strings.Split(policies, ",") {
+			policy = strings.TrimSpace(policy)
+			if policy == "" {
+				return fmt.Errorf("-policy contains an empty policy name: %q", policies)
 			}
-		}
-		if !dup {
-			specs = append(specs, extra)
+			extra, err := bench.PolicyRun(policy, workers)
+			if err != nil {
+				return err
+			}
+			dup := false
+			for _, s := range specs {
+				if s.Name == extra.Name {
+					dup = true // already in the set; don't run it twice
+					break
+				}
+			}
+			if !dup {
+				specs = append(specs, extra)
+			}
 		}
 	}
 	var coll *metrics.Collector

@@ -41,13 +41,18 @@ import (
 	"strings"
 
 	"neutronstar"
+	"neutronstar/internal/engine"
 	"neutronstar/internal/obs"
 )
+
+// engineNames lists the accepted -engine values, straight from the engine
+// package's mode registry so the help text can never drift from the code.
+func engineNames() []string { return engine.ModeNames() }
 
 func main() {
 	var (
 		dsName    = flag.String("dataset", "cora", "dataset name ("+strings.Join(neutronstar.DatasetNames(), ", ")+")")
-		engName   = flag.String("engine", "hybrid", "engine: depcache, depcomm, hybrid, deptp, hybrid3")
+		engName   = flag.String("engine", "hybrid", "engine: "+strings.Join(engineNames(), ", "))
 		model     = flag.String("model", "gcn", "model: gcn, gin, gat")
 		workers   = flag.Int("workers", 4, "simulated cluster size")
 		epochs    = flag.Int("epochs", 30, "training epochs")
@@ -56,6 +61,8 @@ func main() {
 		lr        = flag.Float64("lr", 0.01, "learning rate")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		opt       = flag.Bool("optimized", true, "enable ring/lock-free/overlap optimisations")
+		repBudget = flag.Int64("rep-budget", 0, "per-worker compressed replica byte budget for deprep/hybrid4 (0 = unlimited)")
+		repQuant  = flag.String("rep-quant", "off", "replica feature storage for deprep/hybrid4: off, fp16, int8")
 		pool      = flag.Bool("pool", defaultPool(), "recycle tensor memory across epochs (default also settable via NS_POOL=0/1)")
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
 		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint cadence in epochs")
@@ -104,14 +111,16 @@ func main() {
 		Network: neutronstar.NetworkKind(*network),
 		Layers:  *layers,
 		Ring:    *opt, LockFree: *opt, Overlap: *opt,
-		Pool:       *pool,
-		LR:         *lr,
-		Seed:       *seed,
-		CkptDir:    *ckptDir,
-		CkptEvery:  *ckptEvery,
-		FaultSpec:  *faultSpec,
-		CritPath:   *critPath,
-		WatchRules: *watchSpec,
+		Pool:           *pool,
+		LR:             *lr,
+		Seed:           *seed,
+		RepBudgetBytes: *repBudget,
+		RepQuant:       *repQuant,
+		CkptDir:        *ckptDir,
+		CkptEvery:      *ckptEvery,
+		FaultSpec:      *faultSpec,
+		CritPath:       *critPath,
+		WatchRules:     *watchSpec,
 		// The debug server's /status busy fractions need the collector too.
 		Metrics: *trace != "" || *debugAddr != "",
 	})
@@ -168,6 +177,9 @@ func main() {
 	}
 	log.Info("planning done", "replica_kb", float64(s.CacheBytes())/1024,
 		"planning_ms", s.PreprocessMillis())
+	if rf := s.ReplicationFactor(); rf > 1 {
+		log.Info("replication pass", "factor", rf, "quant", *repQuant)
+	}
 
 	for i := startEpoch; i < *epochs; i++ {
 		ep := s.TrainEpoch()

@@ -33,9 +33,9 @@ func ringDataset(t *testing.T, n int) *dataset.Dataset {
 	return &dataset.Dataset{
 		Spec: dataset.Spec{Name: "ring", Vertices: n, FeatureDim: 4,
 			NumClasses: 2, HiddenDim: 4, Seed: 1},
-		Graph:    g,
-		Features: tensor.RandNormal(n, 4, 0, 1, tensor.NewRNG(1)),
-		Labels:   labels,
+		Graph:     g,
+		Features:  tensor.RandNormal(n, 4, 0, 1, tensor.NewRNG(1)),
+		Labels:    labels,
 		TrainMask: train, ValMask: make([]bool, n), TestMask: make([]bool, n),
 	}
 }

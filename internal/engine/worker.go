@@ -6,6 +6,7 @@ import (
 	"neutronstar/internal/metrics"
 	"neutronstar/internal/nn"
 	"neutronstar/internal/obs"
+	"neutronstar/internal/partition"
 	"neutronstar/internal/tensor"
 )
 
@@ -84,6 +85,17 @@ func newWorkerState(id int, e *Engine, model *nn.Model) *workerState {
 	}
 	for r, v := range cached0 {
 		copy(ws.feat.Row(len(plan.owned)+r), ds.Features.Row(int(v)))
+	}
+	// Replicated plans may store replica features (re)quantized (CoFree-GNN's
+	// requantized vertex copies): round-trip only the replica rows through the
+	// storage format. Owners keep full precision, and every worker replicating
+	// the same vertex round-trips the same source row identically, so the runs
+	// stay deterministic and the deviation from the exact run is bounded by
+	// partition.RequantizeErrorBound.
+	if q := e.repQuant; q != partition.RepQuantOff && e.decs[id].NumRep() > 0 {
+		for r := range cached0 {
+			partition.Requantize(q, ws.feat.Row(len(plan.owned)+r))
+		}
 	}
 	if tp := plan.tpLayers[0]; tp != nil && tp.shared.slice {
 		sh := tp.shared

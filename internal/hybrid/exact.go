@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"neutronstar/internal/costmodel"
 )
 
 // The paper observes (§3) that minimising Eq. 3 is NP-hard — it reduces to
@@ -33,8 +35,61 @@ func (p *Planner) evaluateCostSplit(worker int, d *Decision) (cacheCost, commCos
 	L := p.numLayers()
 	owner := p.Part.Assign
 	isOwned := func(v int32) bool { return owner[v] == int32(worker) }
+	req := p.replicaLevels(worker, d)
 
-	// req[w] = highest representation level that must be locally computable.
+	// Replicated plans store their replica feature/activation rows compressed
+	// by the quantization factor; plans without replicated layers price at
+	// full float32 width (compression 1), byte-identical to the 3-way model.
+	compression := 1.0
+	if d.NumRep() > 0 && p.RepCompression > 1 {
+		compression = p.RepCompression
+	}
+
+	// Iterate replicas in sorted vertex order: map-range order would make the
+	// float sum — and with it the candidate argmin on near-ties — depend on
+	// the run, and the planner must be deterministic.
+	reps := make([]int32, 0, len(req))
+	for w := range req {
+		reps = append(reps, w)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	for _, w := range reps {
+		k := req[w]
+		deg := float64(p.Graph.InDegree(w))
+		for j := 1; j <= k; j++ {
+			cacheCost += (p.Costs.Tv + deg*p.Costs.Te) * float64(p.Dims[j])
+		}
+		bytes += costmodel.RepReplicaBytes(p.Dims, k, p.Graph.InDegree(w), compression)
+	}
+	for l := 1; l <= L; l++ {
+		if d.TPAt(l) {
+			commCost += p.tpLayerCost(worker, l)
+			continue
+		}
+		for _, u := range d.C[l-1] {
+			if isOwned(u) {
+				continue
+			}
+			if have, ok := req[u]; ok && have >= l-1 {
+				continue // replicated anyway: nothing to fetch
+			}
+			if l == 1 {
+				continue // features are fetched once at setup, not per epoch
+			}
+			commCost += p.Costs.CommCost(p.Dims[l-1])
+		}
+	}
+	return cacheCost, commCost, bytes
+}
+
+// replicaLevels computes the worker's replica requirement map for a decision:
+// req[w] is the highest representation level of non-owned vertex w that must
+// be locally computable, derived by closing the cached sets over self chains
+// and in-neighbor subtrees (the same expansion the execution plan performs).
+func (p *Planner) replicaLevels(worker int, d *Decision) map[int32]int {
+	L := p.numLayers()
+	owner := p.Part.Assign
+	isOwned := func(v int32) bool { return owner[v] == int32(worker) }
 	req := make(map[int32]int)
 	var mark func(v int32, lvl int)
 	mark = func(v int32, lvl int) {
@@ -59,45 +114,17 @@ func (p *Planner) evaluateCostSplit(worker int, d *Decision) (cacheCost, commCos
 			mark(u, l-1)
 		}
 	}
+	return req
+}
 
-	// Iterate replicas in sorted vertex order: map-range order would make the
-	// float sum — and with it the 3-way argmin on near-ties — depend on the
-	// run, and the planner must be deterministic.
-	reps := make([]int32, 0, len(req))
-	for w := range req {
-		reps = append(reps, w)
+// repSetupCost prices the worker's one-time replica feature broadcast under
+// the configured compression — reported on the Decision, excluded from the
+// per-epoch argmin.
+func (p *Planner) repSetupCost(worker int, d *Decision) float64 {
+	if d.NumRep() == 0 {
+		return 0
 	}
-	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
-	for _, w := range reps {
-		k := req[w]
-		deg := float64(p.Graph.InDegree(w))
-		for j := 1; j <= k; j++ {
-			cacheCost += (p.Costs.Tv + deg*p.Costs.Te) * float64(p.Dims[j])
-		}
-		for j := 0; j <= k; j++ {
-			bytes += int64(4 * p.Dims[j])
-		}
-		bytes += int64(8 * p.Graph.InDegree(w))
-	}
-	for l := 1; l <= L; l++ {
-		if d.TPAt(l) {
-			commCost += p.tpLayerCost(worker, l)
-			continue
-		}
-		for _, u := range d.C[l-1] {
-			if isOwned(u) {
-				continue
-			}
-			if have, ok := req[u]; ok && have >= l-1 {
-				continue // replicated anyway: nothing to fetch
-			}
-			if l == 1 {
-				continue // features are fetched once at setup, not per epoch
-			}
-			commCost += p.Costs.CommCost(p.Dims[l-1])
-		}
-	}
-	return cacheCost, commCost, bytes
+	return p.Costs.RepSetupCost(len(p.replicaLevels(worker, d)), p.Dims[0], p.RepCompression)
 }
 
 // ExactDecision enumerates every per-layer cache/communicate assignment for

@@ -41,12 +41,24 @@ type Decision struct {
 	// choice, identical across all workers' Decisions. Decisions from the
 	// 2-way modes may carry a nil TP (all false).
 	TP []bool
-	// CacheBytes estimates the replica storage the cached sets require.
+	// Rep[l-1] marks layer l as replicated (DepRep): every remote dependency
+	// is cached (R[l-1] holds the full dependency set) and the planner prices
+	// the replica storage with the quantization compression factor instead of
+	// at full float32 width. Like TP, Rep is a cluster-level per-layer choice;
+	// decisions from older modes may carry a nil Rep (all false).
+	Rep []bool
+	// CacheBytes estimates the replica storage the cached sets require
+	// (compressed by Planner.RepCompression when any layer is replicated).
 	CacheBytes int64
 	// EstCacheCost / EstCommCost are the modeled per-epoch costs (seconds)
 	// of the chosen split, for reporting. Slice-exchange collective cost
 	// counts as communication.
 	EstCacheCost, EstCommCost float64
+	// EstSetupCost is the one-time replica feature broadcast cost of a
+	// replicated plan (costmodel.RepSetupCost) — reported, never part of the
+	// per-epoch argmin, mirroring how the 2-way modes treat the layer-1
+	// feature fetch. Zero for plans without replicated layers.
+	EstSetupCost float64
 }
 
 // TPAt reports whether layer l (1-based) is tensor-parallel under this
@@ -60,6 +72,23 @@ func (d *Decision) NumTP() int {
 	n := 0
 	for _, tp := range d.TP {
 		if tp {
+			n++
+		}
+	}
+	return n
+}
+
+// RepAt reports whether layer l (1-based) is replicated under this decision.
+// Safe on decisions from older modes (nil Rep).
+func (d *Decision) RepAt(l int) bool {
+	return d.Rep != nil && l-1 < len(d.Rep) && d.Rep[l-1]
+}
+
+// NumRep returns the number of replicated layers.
+func (d *Decision) NumRep() int {
+	n := 0
+	for _, r := range d.Rep {
+		if r {
 			n++
 		}
 	}
@@ -104,6 +133,14 @@ const (
 	// tensor-parallel layer suffixes all compete on modeled cost (see
 	// decideThreeWay).
 	ModeHybrid3
+	// ModeAllRep replicates every layer (the pure DepRep engine): R holds the
+	// full dependency set at every layer, replica storage is priced with the
+	// compression factor, and no per-epoch dependency traffic remains.
+	ModeAllRep
+	// ModeHybrid4 widens the candidate family once more: everything
+	// ModeHybrid3 considers plus replicated layer suffixes, gated by
+	// RepBudget (see decideFourWay).
+	ModeHybrid4
 )
 
 // Planner derives per-worker Decisions.
@@ -115,6 +152,16 @@ type Planner struct {
 	Costs costmodel.Costs
 	// MemBudget caps CacheBytes per worker; 0 means unlimited.
 	MemBudget int64
+	// RepBudget caps a replicated candidate's (compressed) replica bytes per
+	// worker in ModeHybrid4: > 0 is a cap, 0 removes replicated candidates
+	// entirely (hybrid4 then degenerates to hybrid3), < 0 is unlimited.
+	// ModeAllRep ignores it — an explicitly requested pure policy is not a
+	// candidate competition.
+	RepBudget int64
+	// RepCompression is the replica storage compression factor of the
+	// configured quantization (partition.CompressionFactor); values < 1 are
+	// treated as 1 (uncompressed).
+	RepCompression float64
 	// Ratio is the cached fraction for ModeRatio, in [0, 1].
 	Ratio float64
 	// SliceTP reports that the model's aggregation is column-wise separable
@@ -137,6 +184,11 @@ func (p *Planner) DecideAll(mode Mode) ([]*Decision, error) {
 		// The tensor-parallel choice is cluster-global (all workers must
 		// agree per layer), so the 3-way planner cannot decide per worker.
 		return p.decideThreeWay()
+	}
+	if mode == ModeHybrid4 {
+		// Replication is cluster-global like TP: same candidate argmin, one
+		// more suffix family.
+		return p.decideFourWay()
 	}
 	out := make([]*Decision, p.Part.NumParts)
 	errs := make([]error, p.Part.NumParts)
@@ -180,8 +232,18 @@ func (p *Planner) dependencies(i int) []int32 {
 func (p *Planner) decideWorker(i int, mode Mode) (*Decision, error) {
 	deps := p.dependencies(i)
 	L := p.numLayers()
-	d := &Decision{R: make([][]int32, L), C: make([][]int32, L), TP: make([]bool, L)}
+	d := &Decision{R: make([][]int32, L), C: make([][]int32, L), TP: make([]bool, L), Rep: make([]bool, L)}
 	switch mode {
+	case ModeAllRep:
+		for l := 0; l < L; l++ {
+			d.R[l] = deps
+			d.Rep[l] = true
+		}
+		cacheCost, commCost, bytes := p.evaluateCostSplit(i, d)
+		d.CacheBytes = bytes
+		d.EstCacheCost, d.EstCommCost = cacheCost, commCost
+		d.EstSetupCost = p.repSetupCost(i, d)
+		return d, nil
 	case ModeAllTP:
 		for l := 1; l <= L; l++ {
 			d.TP[l-1] = true

@@ -1,0 +1,134 @@
+package hybrid
+
+import "fmt"
+
+// The 4-way planner. Replication, like tensor parallelism, is a
+// cluster-global per-layer bit: a replicated layer caches every remote
+// dependency on every worker, so there is no per-dependency choice to make —
+// only whether a layer joins the replicated suffix. decideFourWay therefore
+// extends decideThreeWay's candidate argmin with one more suffix family:
+// plans with layers t..L replicated (the full dependency set cached, replica
+// storage compressed by the quantization factor) above the 2-way greedy
+// prefix.
+//
+// Rep suffixes — like TP suffixes — keep the candidate space linear in L
+// while covering the shapes the cost structure rewards: dependency traffic
+// grows with depth (subtrees widen), so if replicating layer l pays off,
+// replicating l+1 pays off at least as much.
+//
+// Replicated candidates answer to RepBudget, not MemBudget: replica rows are
+// stored (re)quantized in their own store, so the full-precision cache budget
+// does not govern them. RepBudget = 0 removes the family entirely — hybrid4
+// then degenerates to hybrid3 exactly.
+//
+// Tie rule (extending the 3-way one): the argmin takes a strictly cheaper
+// candidate only, and candidates are ordered communication, 2-way greedy,
+// caching, TP suffixes shallowest first, then rep suffixes shallowest first —
+// so an exact tie prefers comm over greedy over cache over TP over rep, and
+// less tensor parallelism / replication over more. In particular a fully
+// replicated plan that ties with pure caching (same sets, same recompute,
+// zero traffic on both) loses to it: replication must buy something — budget
+// feasibility through compression — to be chosen.
+
+// repSuffix derives the candidate plan with layers t..L replicated and the
+// base plan's split below t. Replicated layers cache the full dependency set
+// (allCache's R rows, shared read-only); the Decision structs are fresh.
+func (p *Planner) repSuffix(base, allCache []*Decision, t int) []*Decision {
+	L := p.numLayers()
+	out := make([]*Decision, len(base))
+	for w, b := range base {
+		d := &Decision{R: make([][]int32, L), C: make([][]int32, L), TP: make([]bool, L), Rep: make([]bool, L)}
+		for l := 1; l < t; l++ {
+			d.R[l-1] = b.R[l-1]
+			d.C[l-1] = b.C[l-1]
+		}
+		for l := t; l <= L; l++ {
+			d.R[l-1] = allCache[w].R[l-1]
+			d.Rep[l-1] = true
+		}
+		out[w] = d
+	}
+	return out
+}
+
+// decideFourWay evaluates the 4-way candidate family; decideThreeWay is the
+// same argmin without the replicated suffixes.
+func (p *Planner) decideFourWay() ([]*Decision, error) {
+	return p.decideSuffixFamily(true)
+}
+
+// decideSuffixFamily runs the candidate argmin shared by the 3- and 4-way
+// planners and returns the cheapest feasible plan with its exact modeled
+// costs filled in.
+func (p *Planner) decideSuffixFamily(withRep bool) ([]*Decision, error) {
+	L := p.numLayers()
+	allComm, err := p.decideAllSeq(ModeAllComm)
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := p.decideAllSeq(ModeHybrid)
+	if err != nil {
+		return nil, err
+	}
+	allCache, err := p.decideAllSeq(ModeAllCache)
+	if err != nil {
+		return nil, err
+	}
+	candidates := [][]*Decision{allComm, greedy, allCache}
+	for t := L; t >= 1; t-- {
+		candidates = append(candidates, p.tpSuffix(greedy, t))
+	}
+	firstRep := len(candidates)
+	if withRep && p.RepBudget != 0 {
+		for t := L; t >= 1; t-- {
+			candidates = append(candidates, p.repSuffix(greedy, allCache, t))
+		}
+	}
+
+	best := -1
+	bestCost := 0.0
+	for ci, cand := range candidates {
+		total := 0.0
+		feasible := true
+		for w := range cand {
+			cost, bytes := p.EvaluateCost(w, cand[w])
+			if ci >= firstRep {
+				// Replicated candidates answer to the (compressed) replica
+				// budget; a negative RepBudget is unlimited.
+				if p.RepBudget > 0 && bytes > p.RepBudget {
+					feasible = false
+					break
+				}
+			} else if p.MemBudget > 0 && bytes > p.MemBudget {
+				feasible = false
+				break
+			}
+			total += cost
+		}
+		if !feasible {
+			continue
+		}
+		if best < 0 || total < bestCost {
+			best, bestCost = ci, total
+		}
+	}
+	if best < 0 {
+		// Unreachable: pure communication stores no replicas and always fits.
+		return nil, fmt.Errorf("hybrid: no feasible plan under budget %d", p.MemBudget)
+	}
+	chosen := candidates[best]
+	for w, d := range chosen {
+		if d.TP == nil {
+			d.TP = make([]bool, L)
+		}
+		if d.Rep == nil {
+			d.Rep = make([]bool, L)
+		}
+		cacheCost, commCost, bytes := p.evaluateCostSplit(w, d)
+		d.CacheBytes = bytes
+		d.EstCacheCost = cacheCost
+		d.EstCommCost = commCost
+		d.EstSetupCost = p.repSetupCost(w, d)
+	}
+	return chosen, nil
+}

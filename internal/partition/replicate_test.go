@@ -1,0 +1,199 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteReplicaSet is the recursive specification BuildReplicas's downward
+// iteration must match: need(v, k) marks v at level k and, for k > 0, needs
+// v itself and its non-owned in-neighbors at k-1 (the self chain plus the
+// aggregation inputs).
+func bruteReplicaSet(t *testing.T, g interface {
+	InNeighbors(int32) []int32
+	NumVertices() int
+}, p *Partition, worker, levels int) []map[int32]struct{} {
+	t.Helper()
+	sets := make([]map[int32]struct{}, levels)
+	for k := range sets {
+		sets[k] = make(map[int32]struct{})
+	}
+	var need func(v int32, k int)
+	need = func(v int32, k int) {
+		if _, ok := sets[k][v]; ok {
+			return
+		}
+		sets[k][v] = struct{}{}
+		if k == 0 {
+			return
+		}
+		need(v, k-1)
+		for _, u := range g.InNeighbors(v) {
+			if p.Assign[u] != int32(worker) {
+				need(u, k-1)
+			}
+		}
+	}
+	for _, v := range p.Parts[worker] {
+		for _, u := range g.InNeighbors(v) {
+			if p.Assign[u] != int32(worker) {
+				need(u, levels-1)
+			}
+		}
+	}
+	return sets
+}
+
+func TestBuildReplicasMatchesRecursiveClosure(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		deg    float64
+		parts  int
+		levels int
+		seed   uint64
+	}{
+		{60, 4, 3, 2, 7},
+		{120, 6, 4, 3, 8},
+		{40, 3, 5, 1, 9},
+	} {
+		g := testGraph(t, tc.n, tc.deg, tc.seed)
+		p, err := New(Chunk, g, tc.parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp := BuildReplicas(g, p, tc.levels)
+		for w := 0; w < tc.parts; w++ {
+			want := bruteReplicaSet(t, g, p, w, tc.levels)
+			for k := 0; k < tc.levels; k++ {
+				got := rp.Sets[w][k]
+				if len(got) != len(want[k]) {
+					t.Fatalf("n=%d parts=%d: worker %d level %d: %d replicas, recursion says %d",
+						tc.n, tc.parts, w, k, len(got), len(want[k]))
+				}
+				for i, v := range got {
+					if _, ok := want[k][v]; !ok {
+						t.Fatalf("worker %d level %d: vertex %d not in the recursive closure", w, k, v)
+					}
+					if i > 0 && got[i-1] >= v {
+						t.Fatalf("worker %d level %d: replica list not strictly ascending at %d", w, k, i)
+					}
+					if p.Assign[v] == int32(w) {
+						t.Fatalf("worker %d level %d: owned vertex %d listed as replica", w, k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReplicaFactor(t *testing.T) {
+	g := testGraph(t, 200, 6, 4)
+	// One worker owns everything: no replicas, factor exactly 1.
+	p1, err := New(Chunk, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := BuildReplicas(g, p1, 2).Factor(); f != 1 {
+		t.Fatalf("1-worker factor = %g, want 1", f)
+	}
+	p4, err := New(Chunk, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := BuildReplicas(g, p4, 2)
+	f := rp.Factor()
+	if f <= 1 {
+		t.Fatalf("4-worker factor = %g, want > 1 on a connected RMAT graph", f)
+	}
+	want := float64(g.NumVertices()+rp.Replicas()) / float64(g.NumVertices())
+	if f != want {
+		t.Fatalf("factor = %g, want (|V|+replicas)/|V| = %g", f, want)
+	}
+}
+
+func TestParseRepQuant(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want RepQuant
+		comp float64
+	}{
+		{"", RepQuantOff, 1},
+		{"off", RepQuantOff, 1},
+		{"fp16", RepQuantFP16, 2},
+		{"int8", RepQuantInt8, 4},
+	} {
+		got, err := ParseRepQuant(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseRepQuant(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if c := CompressionFactor(got); c != tc.comp {
+			t.Fatalf("CompressionFactor(%v) = %g, want %g", got, c, tc.comp)
+		}
+	}
+	if _, err := ParseRepQuant("bf16"); err == nil {
+		t.Fatal("expected an error for an unknown format")
+	}
+}
+
+// TestRequantizeWithinBound round-trips random rows through each format and
+// checks every element against the documented RequantizeErrorBound.
+func TestRequantizeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, q := range []RepQuant{RepQuantOff, RepQuantFP16, RepQuantInt8} {
+		for trial := 0; trial < 50; trial++ {
+			// Mix magnitudes across trials: unit-scale rows, tiny rows near the
+			// fp16 subnormal range, and large rows near its overflow threshold.
+			scale := []float32{1, 1e-5, 1e4}[trial%3]
+			row := make([]float32, 33)
+			for i := range row {
+				row[i] = (2*rng.Float32() - 1) * scale
+			}
+			orig := append([]float32(nil), row...)
+			var absmax float64
+			for _, x := range orig {
+				if a := math.Abs(float64(x)); a > absmax {
+					absmax = a
+				}
+			}
+			Requantize(q, row)
+			bound := RequantizeErrorBound(q, absmax)
+			for i := range row {
+				diff := math.Abs(float64(row[i]) - float64(orig[i]))
+				if diff > bound {
+					t.Fatalf("%s trial %d: element %d moved %g > bound %g (x=%g absmax=%g)",
+						q, trial, i, diff, bound, orig[i], absmax)
+				}
+			}
+			// Requantizing twice must be a no-op: the round-trip lands on a
+			// representable value.
+			again := append([]float32(nil), row...)
+			Requantize(q, again)
+			for i := range row {
+				if again[i] != row[i] {
+					t.Fatalf("%s trial %d: requantize not idempotent at %d: %g -> %g",
+						q, trial, i, row[i], again[i])
+				}
+			}
+		}
+	}
+}
+
+// TestF16RoundTripExactness pins the binary16 codec on exactly representable
+// values and the special cases.
+func TestF16RoundTripExactness(t *testing.T) {
+	for _, x := range []float32{0, 1, -1, 0.5, 2, 1024, -0.25, 65504, float32(0x1p-14), float32(0x1p-24)} {
+		if got := f16to32(f32to16(x)); got != x {
+			t.Fatalf("f16 round trip of representable %g = %g", x, got)
+		}
+	}
+	if got := f16to32(f32to16(100000)); !math.IsInf(float64(got), 1) {
+		t.Fatalf("overflow should saturate to +Inf, got %g", got)
+	}
+	if got := f16to32(f32to16(float32(math.NaN()))); !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN should survive, got %g", got)
+	}
+	if got := f16to32(f32to16(1e-10)); got != 0 {
+		t.Fatalf("deep underflow should flush to zero, got %g", got)
+	}
+}

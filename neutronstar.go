@@ -52,13 +52,17 @@ import (
 type EngineKind string
 
 // The three engines of the paper, plus the tensor-parallel policy (DepTP,
-// after NeutronTP) and the 3-way planner that mixes all of them per layer.
+// after NeutronTP), the replicated policy (DepRep, after CoFree-GNN), and the
+// 3- and 4-way planners that mix them per layer. See POLICIES.md for the
+// decision matrix.
 const (
 	EngineDepCache EngineKind = "depcache"
 	EngineDepComm  EngineKind = "depcomm"
 	EngineHybrid   EngineKind = "hybrid"
 	EngineDepTP    EngineKind = "deptp"
 	EngineHybrid3  EngineKind = "hybrid3"
+	EngineDepRep   EngineKind = "deprep"
+	EngineHybrid4  EngineKind = "hybrid4"
 )
 
 // ModelKind selects the GNN architecture.
@@ -131,6 +135,15 @@ type Config struct {
 	Schedule LRSchedule
 	// MemBudgetBytes caps per-worker replica storage for the Hybrid engine.
 	MemBudgetBytes int64
+	// RepBudgetBytes caps per-worker compressed replica storage for the
+	// DepRep/Hybrid4 engines (0 = unlimited, matching MemBudgetBytes's
+	// convention; use Hybrid3 to exclude replication entirely).
+	RepBudgetBytes int64
+	// RepQuant selects the replica feature storage format for DepRep/Hybrid4:
+	// "off" (default, exact), "fp16" or "int8". Quantization applies only to
+	// replica rows; owners keep full precision. See
+	// partition.RequantizeErrorBound for the per-element error bounds.
+	RepQuant string
 	// Metrics enables utilisation collection (see Session.Metrics).
 	Metrics bool
 	// CkptDir enables checkpointing: a full training snapshot (parameters,
@@ -408,6 +421,10 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 		mode = engine.DepTP
 	case EngineHybrid3:
 		mode = engine.Hybrid3
+	case EngineDepRep:
+		mode = engine.DepRep
+	case EngineHybrid4:
+		mode = engine.Hybrid4
 	default:
 		return engine.Options{}, nil, fmt.Errorf("neutronstar: unknown engine %q", cfg.Engine)
 	}
@@ -458,6 +475,10 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 	if cfg.Pool {
 		pool = tensor.NewPool()
 	}
+	repQuant, err := partition.ParseRepQuant(cfg.RepQuant)
+	if err != nil {
+		return engine.Options{}, nil, err
+	}
 	return engine.Options{
 		Workers:     cfg.Workers,
 		Mode:        mode,
@@ -476,6 +497,8 @@ func toEngineOptions(cfg Config) (engine.Options, *metrics.Collector, error) {
 		Dropout:     float32(cfg.Dropout),
 		Seed:        cfg.Seed,
 		MemBudget:   cfg.MemBudgetBytes,
+		RepBudget:   cfg.RepBudgetBytes,
+		RepQuant:    repQuant,
 		Collector:   coll,
 		Fault:       fault,
 		Pool:        pool,
@@ -766,6 +789,9 @@ func (s *Session) CostSummary() []string {
 	if cr.Flips.ToTP > 0 || cr.Flips.FromTP > 0 {
 		flip += fmt.Sprintf(" + %d layers to TP, %d from TP", cr.Flips.ToTP, cr.Flips.FromTP)
 	}
+	if cr.Flips.ToRep > 0 || cr.Flips.FromRep > 0 {
+		flip += fmt.Sprintf(" + %d layers to rep, %d from rep", cr.Flips.ToRep, cr.Flips.FromRep)
+	}
 	lines = append(lines, flip)
 	return lines
 }
@@ -773,6 +799,11 @@ func (s *Session) CostSummary() []string {
 // Metrics returns the utilisation collector, or nil if Config.Metrics was
 // false.
 func (s *Session) Metrics() *metrics.Collector { return s.coll }
+
+// ReplicationFactor reports the vertex replication factor of the loaded plan,
+// (|V| + replicas) / |V|, for engines that materialised a replication pass
+// (DepRep); 1.0 otherwise.
+func (s *Session) ReplicationFactor() float64 { return s.eng.ReplicationFactor() }
 
 // Close tears down the simulated cluster and stops the metric history's
 // periodic sampler.

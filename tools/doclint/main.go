@@ -4,12 +4,20 @@
 // every exported top-level declaration — functions, methods on exported
 // types, types, constants and variables — must have a doc comment.
 //
+// The -docs flag names markdown files (comma-separated) to cross-check
+// against the code: every -engine/-policy value they mention must be a
+// registered engine mode, and every backticked token inside a
+// `<!-- doclint:bench-schema -->` … `<!-- doclint:end -->` region must be a
+// real BENCH.json field (see docs.go).
+//
 // Usage (mirrors the CI step):
 //
 //	go run ./tools/doclint -symbols internal/tensor \
+//	    -docs README.md,DESIGN.md,EXPERIMENTS.md,POLICIES.md \
 //	    internal/tensor internal/bench internal/testkit internal/obs
 //
-// Exit status: 0 when clean, 1 on missing docs, 2 on usage or parse errors.
+// Exit status: 0 when clean, 1 on missing docs or doc-to-code drift, 2 on
+// usage or parse errors.
 package main
 
 import (
@@ -26,9 +34,11 @@ import (
 func main() {
 	symbolDirs := flag.String("symbols", "",
 		"comma-separated dirs whose exported symbols must all be documented")
+	docFiles := flag.String("docs", "",
+		"comma-separated markdown files to cross-check against code (policies, bench schema)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "doclint: no package directories given")
+	if flag.NArg() == 0 && *docFiles == "" {
+		fmt.Fprintln(os.Stderr, "doclint: no package directories or -docs files given")
 		os.Exit(2)
 	}
 	strict := make(map[string]bool)
@@ -41,6 +51,20 @@ func main() {
 	for _, dir := range flag.Args() {
 		dir = strings.TrimRight(dir, "/")
 		ps, err := lintDir(dir, strict[dir])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if *docFiles != "" {
+		var paths []string
+		for _, p := range strings.Split(*docFiles, ",") {
+			if p != "" {
+				paths = append(paths, p)
+			}
+		}
+		ps, err := lintDocs(paths)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 			os.Exit(2)
